@@ -1,0 +1,186 @@
+package critics
+
+import (
+	"sync"
+	"testing"
+
+	"critics/internal/compiler"
+	"critics/internal/core"
+	"critics/internal/cpu"
+	"critics/internal/dfg"
+	"critics/internal/encoding"
+	"critics/internal/exp"
+	"critics/internal/isa"
+	"critics/internal/trace"
+	"critics/internal/workload"
+)
+
+// benchSession is shared across the experiment benchmarks so programs,
+// profiles and compiled variants are built once.
+var (
+	benchOnce sync.Once
+	benchSess *Session
+)
+
+func session() *Session {
+	benchOnce.Do(func() {
+		benchSess = NewSession(WithQuickScale())
+	})
+	return benchSess
+}
+
+// benchExp runs one experiment id per iteration. The first iteration pays
+// for program/profile construction; later iterations measure the experiment
+// pipeline itself (trace generation + simulation + aggregation).
+func benchExp(b *testing.B, id string) {
+	b.Helper()
+	sess := session()
+	for i := 0; i < b.N; i++ {
+		out, err := sess.Experiment(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+// One benchmark per table and figure of the paper's evaluation (DESIGN.md's
+// per-experiment index).
+
+func BenchmarkFig1a(b *testing.B)  { benchExp(b, "fig1a") }
+func BenchmarkFig1b(b *testing.B)  { benchExp(b, "fig1b") }
+func BenchmarkFig3a(b *testing.B)  { benchExp(b, "fig3a") }
+func BenchmarkFig3b(b *testing.B)  { benchExp(b, "fig3b") }
+func BenchmarkFig3c(b *testing.B)  { benchExp(b, "fig3c") }
+func BenchmarkFig5a(b *testing.B)  { benchExp(b, "fig5a") }
+func BenchmarkFig5b(b *testing.B)  { benchExp(b, "fig5b") }
+func BenchmarkFig8(b *testing.B)   { benchExp(b, "fig8") }
+func BenchmarkFig10a(b *testing.B) { benchExp(b, "fig10a") }
+func BenchmarkFig10b(b *testing.B) { benchExp(b, "fig10b") }
+func BenchmarkFig10c(b *testing.B) { benchExp(b, "fig10c") }
+func BenchmarkFig11a(b *testing.B) { benchExp(b, "fig11a") }
+func BenchmarkFig11b(b *testing.B) { benchExp(b, "fig11b") }
+func BenchmarkFig12a(b *testing.B) { benchExp(b, "fig12a") }
+func BenchmarkFig12b(b *testing.B) { benchExp(b, "fig12b") }
+func BenchmarkFig13a(b *testing.B) { benchExp(b, "fig13a") }
+func BenchmarkFig13b(b *testing.B) { benchExp(b, "fig13b") }
+func BenchmarkTable1(b *testing.B) { benchExp(b, "tab1") }
+func BenchmarkTable2(b *testing.B) { benchExp(b, "tab2") }
+
+// ---- Component micro-benchmarks -----------------------------------------
+
+// acrobatProgram returns a generated app program shared by the micro
+// benchmarks.
+var acrobatProgram = sync.OnceValue(func() *workload.App {
+	a, _ := workload.FindApp("acrobat")
+	return &a
+})
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	app := acrobatProgram()
+	p := workload.Generate(app.Params)
+	g := trace.NewGenerator(p, 1)
+	buf := make([]trace.Dyn, 0, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Generate(buf[:0], 10_000)
+	}
+	b.SetBytes(10_000)
+}
+
+func BenchmarkPipelineSimulation(b *testing.B) {
+	app := acrobatProgram()
+	p := workload.Generate(app.Params)
+	g := trace.NewGenerator(p, 1)
+	g.Skip(10_000)
+	dyns := g.Generate(nil, 20_000)
+	fan := dfg.Fanouts(dyns, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := cpu.New(cpu.DefaultConfig())
+		s.Run(dyns, fan)
+	}
+	b.SetBytes(20_000)
+}
+
+func BenchmarkChainExtraction(b *testing.B) {
+	app := acrobatProgram()
+	p := workload.Generate(app.Params)
+	g := trace.NewGenerator(p, 1)
+	g.Skip(10_000)
+	dyns := g.Generate(nil, 20_000)
+	opt := dfg.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dfg.Extract(dyns, opt)
+	}
+	b.SetBytes(20_000)
+}
+
+func BenchmarkProfiler(b *testing.B) {
+	app := acrobatProgram()
+	p := workload.Generate(app.Params)
+	ws := trace.Collect(p, 1, trace.SamplePlan{Samples: 4, Length: 10_000, Gap: 2_000, Warmup: 2_000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.BuildProfile(p, ws, core.DefaultConfig())
+	}
+}
+
+func BenchmarkCritICPass(b *testing.B) {
+	app := acrobatProgram()
+	p := workload.Generate(app.Params)
+	ws := trace.Collect(p, 1, trace.SamplePlan{Samples: 4, Length: 10_000, Gap: 2_000, Warmup: 2_000})
+	prof := core.BuildProfile(p, ws, core.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := compiler.ApplyCritIC(p, prof, compiler.Options{MaxLen: 5, Switch: compiler.SwitchCDP}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeA32(b *testing.B) {
+	in := isa.Inst{Op: isa.OpADD, Rd: isa.R1, Rn: isa.R2, Rm: isa.R3}
+	for i := 0; i < b.N; i++ {
+		if _, err := encoding.EncodeA32(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeT16(b *testing.B) {
+	in := isa.Inst{Op: isa.OpADD, Rd: isa.R1, Rn: isa.R2, Rm: isa.R3}
+	for i := 0; i < b.N; i++ {
+		if _, err := encoding.EncodeT16(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	app := acrobatProgram()
+	for i := 0; i < b.N; i++ {
+		workload.Generate(app.Params)
+	}
+}
+
+// BenchmarkEndToEnd runs the complete pipeline (profile + compile + simulate
+// baseline and optimized) for one app at quick scale.
+func BenchmarkEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := exp.QuickContext()
+		app, _ := workload.FindApp("maps")
+		base := ctx.Measure(ctx.Program(app), cpu.DefaultConfig(), false)
+		opt, _ := ctx.Variant(app, exp.VarCritIC)
+		mOpt := ctx.Measure(opt, cpu.DefaultConfig(), false)
+		if mOpt.Res.Cycles >= base.Res.Cycles {
+			b.Log("no speedup this iteration") // informational; calibration varies per window
+		}
+	}
+}
+
+func BenchmarkAblateFetch(b *testing.B) { benchExp(b, "ablate-fetch") }
+func BenchmarkAblateCDP(b *testing.B)   { benchExp(b, "ablate-cdp") }

@@ -1,0 +1,97 @@
+// Command criticdump assembles an app model into an actual binary image and
+// prints annotated disassembly — before and after the CritIC pass — so the
+// layout transformation (hoisted chains, CDP prefixes, Thumb runs, format
+// padding) can be inspected byte by byte.
+//
+// Usage:
+//
+//	criticdump -app acrobat -func 40          # one function, before/after
+//	criticdump -app maps -verify              # round-trip the whole binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"critics/internal/binimg"
+	"critics/internal/compiler"
+	"critics/internal/exp"
+	"critics/internal/prog"
+	"critics/internal/workload"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		app    = flag.String("app", "acrobat", "app to dump")
+		fnID   = flag.Int("func", -1, "function id to disassemble (-1: first function with a converted chain)")
+		verify = flag.Bool("verify", false, "verify assemble/decode round trip of baseline and CritIC binaries")
+	)
+	flag.Parse()
+
+	a, ok := workload.FindApp(*app)
+	if !ok {
+		fail(fmt.Errorf("unknown app %q", *app))
+	}
+	ctx := exp.QuickContext()
+	p := ctx.Program(a)
+	prof := ctx.Profile(a, false, 1)
+	q, st, err := compiler.ApplyCritIC(p, prof, compiler.Options{MaxLen: 5, Switch: compiler.SwitchCDP})
+	if err != nil {
+		fail(err)
+	}
+
+	if *verify {
+		if err := binimg.VerifyRoundTrip(p); err != nil {
+			fail(fmt.Errorf("baseline: %w", err))
+		}
+		if err := binimg.VerifyRoundTrip(q); err != nil {
+			fail(fmt.Errorf("critic: %w", err))
+		}
+		fmt.Printf("round trip OK: baseline and CritIC binaries of %s assemble and decode exactly\n", *app)
+		fmt.Printf("pass: %v\n", st)
+		return
+	}
+
+	if *fnID < 0 {
+		*fnID = firstConvertedFunc(q)
+	}
+	imgP, err := binimg.Assemble(p)
+	if err != nil {
+		fail(err)
+	}
+	imgQ, err := binimg.Assemble(q)
+	if err != nil {
+		fail(err)
+	}
+	before, err := binimg.Listing(p, imgP, *fnID)
+	if err != nil {
+		fail(err)
+	}
+	after, err := binimg.Listing(q, imgQ, *fnID)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("==== %s: function %d, baseline (%d bytes total) ====\n%s\n", *app, *fnID, len(imgP), before)
+	fmt.Printf("==== %s: function %d, after CritIC (%d bytes total) ====\n%s", *app, *fnID, len(imgQ), after)
+}
+
+// firstConvertedFunc finds the first function containing a converted chain
+// (a tagged instruction), falling back to function 0.
+func firstConvertedFunc(p *prog.Program) int {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].ChainID != 0 {
+					return f.ID
+				}
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,90 @@
+// Command criticprof runs the offline CritIC profiler on one app and writes
+// the profile as JSON — the artifact the paper's Spark post-processing step
+// produced (§III-C), consumed by the compiler pass.
+//
+// Usage:
+//
+//	criticprof -app acrobat -o acrobat.critic.json
+//	criticprof -app maps            # summary to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"critics"
+	"critics/internal/trace"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "", "app to profile (required)")
+		out      = flag.String("o", "", "output file for the JSON profile (default: summary only)")
+		traceOut = flag.String("trace", "", "also dump a raw instruction trace to this file")
+		traceN   = flag.Int("trace-n", 100_000, "dynamic instructions to dump with -trace")
+		quick    = flag.Bool("quick", false, "reduced profiling windows")
+		top      = flag.Int("top", 10, "number of top chains to print")
+	)
+	flag.Parse()
+	if *app == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var opts []critics.Option
+	if *quick {
+		opts = append(opts, critics.WithQuickScale())
+	}
+	prof, err := critics.BuildProfile(*app, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("app %s: %d dynamic instructions profiled\n", prof.App, prof.TotalDyn)
+	fmt.Printf("  %d unique chain candidates, %d selected, coverage %.1f%%\n",
+		prof.UniqueChains(), len(prof.Selected()), 100*prof.SelectedCoverage)
+	fmt.Printf("  16-bit representable: %.1f%% of candidates\n", 100*prof.ThumbRepresentableFrac())
+	fmt.Printf("  top chains by dynamic coverage:\n")
+	for i, e := range prof.Selected() {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("    %-24s len=%d execs=%-6d avgFanout=%.1f thumb=%v\n",
+			e.Key, e.Length, e.DynCount, e.AvgFanout, e.ThumbOK)
+	}
+	if *traceOut != "" {
+		dyns, err := critics.TraceSample(*app, *traceN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := trace.WriteTrace(f, dyns); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace of %d instructions written to %s\n", len(dyns), *traceOut)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(prof, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("profile written to %s (%d bytes)\n", *out, len(data))
+	}
+}

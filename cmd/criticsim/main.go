@@ -1,0 +1,90 @@
+// Command criticsim reproduces the paper's evaluation: it runs any table or
+// figure experiment by id and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	criticsim -list
+//	criticsim -exp fig10a
+//	criticsim -all
+//	criticsim -app acrobat          # end-to-end single-app report
+//	criticsim -exp fig11a -quick    # reduced windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"critics"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		app   = flag.String("app", "", "run the end-to-end pipeline on one app")
+		quick = flag.Bool("quick", false, "reduced window sizes")
+	)
+	flag.Parse()
+
+	var opts []critics.Option
+	if *quick {
+		opts = append(opts, critics.WithQuickScale())
+	}
+
+	switch {
+	case *list:
+		for _, id := range critics.ExperimentIDs() {
+			fmt.Println(id)
+		}
+	case *app != "":
+		rep, err := critics.OptimizeApp(*app, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+	case *all:
+		// fig3a/b/c share a runner, as do fig10a/b/c and fig11a/b; run
+		// each runner once. A session caches programs/profiles/variants
+		// across experiments.
+		sess := critics.NewSession(opts...)
+		ran := map[string]bool{}
+		dedup := map[string]string{
+			"fig3b": "fig3a", "fig3c": "fig3a",
+			"fig10b": "fig10a", "fig10c": "fig10a",
+			"fig11b": "fig11a",
+			"fig13b": "fig13a",
+		}
+		for _, id := range critics.ExperimentIDs() {
+			canon := id
+			if c, ok := dedup[id]; ok {
+				canon = c
+			}
+			if ran[canon] {
+				continue
+			}
+			ran[canon] = true
+			start := time.Now()
+			out, err := sess.Experiment(canon)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+			fmt.Printf("  [%s in %.1fs]\n\n", canon, time.Since(start).Seconds())
+		}
+	case *expID != "":
+		out, err := critics.Experiment(*expID, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

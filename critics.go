@@ -1,0 +1,225 @@
+// Package critics is a full reproduction of "CritICs: Critiquing Criticality
+// in Mobile Apps" (MICRO 2018): identification of Critical Instruction
+// Chains in mobile workloads and a compiler pass that hoists them and emits
+// them in the 16-bit Thumb format behind a CDP decoder mode switch, nearly
+// doubling their fetch bandwidth.
+//
+// This top-level package is the user-facing API. It wires together the
+// subsystems in internal/: synthetic workload generation (the substitute for
+// Play Store apps and SPEC), trace generation, DFG analysis, the CritIC
+// profiler, the compiler passes, a cycle-level out-of-order CPU model with
+// caches/branch prediction/LPDDR3 DRAM, an energy model, and the experiment
+// runners that regenerate every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	report, err := critics.OptimizeApp("acrobat")
+//	fmt.Println(report)
+//
+// or reproduce a specific figure:
+//
+//	out, err := critics.Experiment("fig10a")
+//	fmt.Print(out)
+package critics
+
+import (
+	"fmt"
+	"strings"
+
+	"critics/internal/compiler"
+	"critics/internal/core"
+	"critics/internal/cpu"
+	"critics/internal/energy"
+	"critics/internal/exp"
+	"critics/internal/trace"
+	"critics/internal/workload"
+)
+
+// Report summarizes one end-to-end optimization of an app: profile →
+// compile → simulate baseline and CritIC binaries over identical work.
+type Report struct {
+	App string
+
+	// Profile.
+	UniqueChains    int
+	SelectedChains  int
+	ProfileCoverage float64 // fraction of profiled stream in selected chains
+	ThumbRepresent  float64 // fraction of candidates passing the 16-bit rule
+	CompilerSummary string
+	CodeBytesBefore uint32
+	CodeBytesAfter  uint32
+	ChainsHoisted   int
+	ChainsConverted int
+
+	// Simulation.
+	BaselineCycles int64
+	CritICCycles   int64
+	BaselineIPC    float64
+	CritICIPC      float64
+	SpeedupPct     float64
+
+	// Energy.
+	SystemEnergySavingPct float64
+	CPUEnergySavingPct    float64
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "app %s\n", r.App)
+	fmt.Fprintf(&b, "  profile:  %d unique chains, %d selected, coverage %.1f%%, 16-bit representable %.1f%%\n",
+		r.UniqueChains, r.SelectedChains, 100*r.ProfileCoverage, 100*r.ThumbRepresent)
+	fmt.Fprintf(&b, "  compile:  %s\n", r.CompilerSummary)
+	fmt.Fprintf(&b, "  code:     %d -> %d bytes\n", r.CodeBytesBefore, r.CodeBytesAfter)
+	fmt.Fprintf(&b, "  cycles:   %d -> %d (IPC %.3f -> %.3f)\n", r.BaselineCycles, r.CritICCycles, r.BaselineIPC, r.CritICIPC)
+	fmt.Fprintf(&b, "  speedup:  %.2f%%\n", r.SpeedupPct)
+	fmt.Fprintf(&b, "  energy:   system -%.2f%%, CPU-side -%.2f%%\n", r.SystemEnergySavingPct, r.CPUEnergySavingPct)
+	return b.String()
+}
+
+// Option adjusts the experiment scale.
+type Option func(*exp.Context)
+
+// WithQuickScale shrinks windows for fast runs (tests, demos).
+func WithQuickScale() Option {
+	return func(c *exp.Context) {
+		q := exp.QuickContext()
+		c.WarmupArch = q.WarmupArch
+		c.WarmArch = q.WarmArch
+		c.MeasureArch = q.MeasureArch
+		c.ProfilePlan = q.ProfilePlan
+	}
+}
+
+// WithMeasureInstrs sets the measured window size in architectural
+// instructions.
+func WithMeasureInstrs(n int) Option {
+	return func(c *exp.Context) { c.MeasureArch = n }
+}
+
+// newCtx builds a context with options applied.
+func newCtx(opts ...Option) *exp.Context {
+	c := exp.NewContext()
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Apps returns the names of the ten mobile apps of Table II.
+func Apps() []string {
+	apps := workload.MobileApps()
+	names := make([]string, len(apps))
+	for i, a := range apps {
+		names[i] = a.Params.Name
+	}
+	return names
+}
+
+// OptimizeApp runs the full CritIC pipeline on one mobile app (or SPEC
+// workload) and reports the outcome.
+func OptimizeApp(name string, opts ...Option) (*Report, error) {
+	app, ok := workload.FindApp(name)
+	if !ok {
+		return nil, fmt.Errorf("critics: unknown app %q (mobile apps: %v)", name, Apps())
+	}
+	ctx := newCtx(opts...)
+
+	base := ctx.Program(app)
+	prof := ctx.Profile(app, false, 1)
+	optimized, st := ctx.Variant(app, exp.VarCritIC)
+
+	mBase := ctx.Measure(base, cpu.DefaultConfig(), false)
+	mOpt := ctx.Measure(optimized, cpu.DefaultConfig(), false)
+
+	eBase := energy.Compute(&mBase.Res, energy.DefaultConfig())
+	eOpt := energy.Compute(&mOpt.Res, energy.DefaultConfig())
+	sav := energy.ComputeSavings(eBase, eOpt)
+
+	return &Report{
+		App:                   name,
+		UniqueChains:          prof.UniqueChains(),
+		SelectedChains:        len(prof.Selected()),
+		ProfileCoverage:       prof.SelectedCoverage,
+		ThumbRepresent:        prof.ThumbRepresentableFrac(),
+		CompilerSummary:       st.String(),
+		CodeBytesBefore:       base.CodeBytes,
+		CodeBytesAfter:        optimized.CodeBytes,
+		ChainsHoisted:         st.ChainsHoisted,
+		ChainsConverted:       st.ChainsConverted,
+		BaselineCycles:        mBase.Res.Cycles,
+		CritICCycles:          mOpt.Res.Cycles,
+		BaselineIPC:           mBase.Res.IPC(),
+		CritICIPC:             mOpt.Res.IPC(),
+		SpeedupPct:            exp.Speedup(mBase, mOpt),
+		SystemEnergySavingPct: sav.TotalPct,
+		CPUEnergySavingPct:    sav.CPUOnlyPct,
+	}, nil
+}
+
+// Experiment runs one of the paper's tables/figures by id (e.g. "fig10a",
+// "tab1") and returns its formatted report. For running several experiments,
+// prefer a Session, which caches programs, profiles and compiled variants
+// across runs.
+func Experiment(id string, opts ...Option) (string, error) {
+	return exp.Run(id, newCtx(opts...))
+}
+
+// Session caches generated programs, profiles and compiled variants across
+// experiment runs.
+type Session struct {
+	ctx *exp.Context
+}
+
+// NewSession creates a session with the given scale options.
+func NewSession(opts ...Option) *Session {
+	return &Session{ctx: newCtx(opts...)}
+}
+
+// Experiment runs one experiment id within the session.
+func (s *Session) Experiment(id string) (string, error) {
+	return exp.Run(id, s.ctx)
+}
+
+// Context exposes the underlying experiment context for advanced use from
+// within this module (examples, benchmarks).
+func (s *Session) Context() *exp.Context { return s.ctx }
+
+// ExperimentIDs lists the available experiment ids.
+func ExperimentIDs() []string { return exp.IDs() }
+
+// BuildProfile profiles an app and returns the CritIC profile (the artifact
+// cmd/criticprof serializes).
+func BuildProfile(name string, opts ...Option) (*core.Profile, error) {
+	app, ok := workload.FindApp(name)
+	if !ok {
+		return nil, fmt.Errorf("critics: unknown app %q", name)
+	}
+	ctx := newCtx(opts...)
+	return ctx.Profile(app, false, 1), nil
+}
+
+// CompileWithProfile applies the CritIC pass to an app's program under an
+// explicit profile (e.g. one loaded from disk) and returns the pass stats.
+func CompileWithProfile(name string, prof *core.Profile) (compiler.Stats, error) {
+	app, ok := workload.FindApp(name)
+	if !ok {
+		return compiler.Stats{}, fmt.Errorf("critics: unknown app %q", name)
+	}
+	p := workload.Generate(app.Params)
+	_, st, err := compiler.ApplyCritIC(p, prof, compiler.Options{MaxLen: 5, Switch: compiler.SwitchCDP})
+	return st, err
+}
+
+// TraceSample generates a window of dynamic execution for an app — handy for
+// external analyses built on this library.
+func TraceSample(name string, n int) ([]trace.Dyn, error) {
+	app, ok := workload.FindApp(name)
+	if !ok {
+		return nil, fmt.Errorf("critics: unknown app %q", name)
+	}
+	p := workload.Generate(app.Params)
+	g := trace.NewGenerator(p, app.Params.Seed)
+	g.Skip(5000)
+	return g.Generate(nil, n), nil
+}

@@ -1,0 +1,106 @@
+package critics
+
+import (
+	"encoding/json"
+	"testing"
+
+	"critics/internal/core"
+)
+
+func TestOptimizeAppEndToEnd(t *testing.T) {
+	rep, err := OptimizeApp("acrobat", WithQuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SpeedupPct <= 0 {
+		t.Errorf("no speedup: %+v", rep)
+	}
+	if rep.CodeBytesAfter >= rep.CodeBytesBefore {
+		t.Error("code did not shrink")
+	}
+	if rep.UniqueChains == 0 || rep.SelectedChains == 0 {
+		t.Error("profile empty")
+	}
+	if rep.ThumbRepresent < 0.8 {
+		t.Errorf("thumb representability %.3f", rep.ThumbRepresent)
+	}
+	if rep.SystemEnergySavingPct <= 0 {
+		t.Error("no energy saving")
+	}
+	if s := rep.String(); len(s) < 100 {
+		t.Errorf("report too short: %q", s)
+	}
+}
+
+func TestOptimizeAppUnknown(t *testing.T) {
+	if _, err := OptimizeApp("doom"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestAppsCatalog(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 10 {
+		t.Fatalf("got %d apps", len(apps))
+	}
+}
+
+func TestExperimentIDsAndRun(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 15 {
+		t.Fatalf("only %d experiment ids", len(ids))
+	}
+	out, err := Experiment("tab2")
+	if err != nil || out == "" {
+		t.Fatalf("tab2: %v", err)
+	}
+	if _, err := Experiment("fig99z"); err == nil {
+		t.Error("bad id accepted")
+	}
+}
+
+func TestProfileRoundTripThroughJSON(t *testing.T) {
+	prof, err := BuildProfile("music", WithQuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back core.Profile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	// The deserialized profile must drive the compiler identically.
+	st, err := CompileWithProfile("music", &back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChainsConverted == 0 {
+		t.Error("profile from JSON converted nothing")
+	}
+}
+
+func TestTraceSample(t *testing.T) {
+	dyns, err := TraceSample("browser", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dyns) != 5000 {
+		t.Fatalf("got %d dyns", len(dyns))
+	}
+	if _, err := TraceSample("doom", 10); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestSessionCaches(t *testing.T) {
+	s := NewSession(WithQuickScale())
+	if _, err := s.Experiment("tab1"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Context() == nil {
+		t.Fatal("no context")
+	}
+}

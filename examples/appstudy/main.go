@@ -1,0 +1,79 @@
+// Appstudy: a per-app deep dive using the library's building blocks
+// directly — the workload the paper's intro motivates (a user-interactive
+// document reader) is traced, its dependence-chain structure is analyzed,
+// the profiler's chains are listed, and the pipeline-stage residency of its
+// critical instructions is broken down (the paper's Fig. 3 view).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"critics/internal/cpu"
+	"critics/internal/dfg"
+	"critics/internal/exp"
+	"critics/internal/workload"
+)
+
+func main() {
+	name := flag.String("app", "maps", "app to study")
+	flag.Parse()
+
+	app, ok := workload.FindApp(*name)
+	if !ok {
+		log.Fatalf("unknown app %q", *name)
+	}
+	ctx := exp.QuickContext()
+
+	p := ctx.Program(app)
+	fmt.Printf("app %s: %d functions, %d static instructions, %d bytes of code\n",
+		*name, len(p.Funcs), p.NumInstrs(), p.CodeBytes)
+
+	// Dependence-chain structure of the dynamic stream.
+	m := ctx.Measure(p, cpu.DefaultConfig(), true)
+	chains := dfg.Extract(m.Dyns, dfg.DefaultOptions())
+	ls := dfg.MeasureLengthSpread(chains)
+	fmt.Printf("instruction chains: %d found; max length %d, max spread %d, mean length %.1f\n",
+		len(chains), ls.MaxLen, ls.MaxSpread, ls.MeanLen)
+	fmt.Printf("critical instructions (fanout >= 8): %.1f%% of the stream\n",
+		100*dfg.CriticalFraction(m.Fanouts, 8))
+
+	gaps := dfg.HighFanoutGaps(chains, m.Fanouts, 8, 5)
+	fmt.Println("gaps between successive high-fanout chain members (Fig 1b):")
+	for k := 0; k <= 5; k++ {
+		fmt.Printf("  %d low-fanout members: %5.1f%%\n", k, 100*gaps.Gaps.Frac(k))
+	}
+	fmt.Printf("  no dependent high-fanout successor: %5.1f%%\n", 100*gaps.FracNone())
+
+	// Profiler output.
+	prof := ctx.Profile(app, false, 1)
+	fmt.Printf("\nprofile: %d unique chains, %d selected, %.1f%% coverage, %.1f%% 16-bit representable\n",
+		prof.UniqueChains(), len(prof.Selected()), 100*prof.SelectedCoverage, 100*prof.ThumbRepresentableFrac())
+
+	// Stage residency of critical instructions (Fig 3a view).
+	var crit cpu.Breakdown
+	n := 0
+	for i := range m.Res.Records {
+		if m.Fanouts[i] >= 8 {
+			crit.Add(cpu.BreakdownOf(&m.Res.Records[i]))
+			n++
+		}
+	}
+	if t := crit.Total(); t > 0 && n > 0 {
+		fmt.Printf("\nstage residency of the %d critical instructions:\n", n)
+		fmt.Printf("  fetch (F.StallForI):   %5.1f%%\n", 100*float64(crit.FetchI)/float64(t))
+		fmt.Printf("  fetch (F.StallForR+D): %5.1f%%\n", 100*float64(crit.FetchRD)/float64(t))
+		fmt.Printf("  decode:                %5.1f%%\n", 100*float64(crit.Decode)/float64(t))
+		fmt.Printf("  rename/issue wait:     %5.1f%%\n", 100*float64(crit.Rename)/float64(t))
+		fmt.Printf("  execute:               %5.1f%%\n", 100*float64(crit.Execute)/float64(t))
+		fmt.Printf("  commit wait:           %5.1f%%\n", 100*float64(crit.Commit)/float64(t))
+	}
+
+	// And the payoff.
+	opt, st := ctx.Variant(app, exp.VarCritIC)
+	mOpt := ctx.Measure(opt, cpu.DefaultConfig(), false)
+	fmt.Printf("\nCritIC pass: %v\n", st)
+	fmt.Printf("speedup: %.2f%% (%d -> %d cycles)\n",
+		exp.Speedup(m, mOpt), m.Res.Cycles, mOpt.Res.Cycles)
+}

@@ -1,0 +1,32 @@
+// Quickstart: run the full CritIC pipeline — profile, compile, simulate —
+// on one Play Store app model and print the end-to-end report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"critics"
+)
+
+func main() {
+	fmt.Println("CritICs quickstart: profiling and optimizing the Acrobat app model")
+	fmt.Println()
+
+	report, err := critics.OptimizeApp("acrobat", critics.WithQuickScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+
+	fmt.Println()
+	fmt.Println("All ten Table II apps:")
+	for _, name := range critics.Apps() {
+		r, err := critics.OptimizeApp(name, critics.WithQuickScale())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s speedup %6.2f%%   system energy -%5.2f%%\n",
+			name, r.SpeedupPct, r.SystemEnergySavingPct)
+	}
+}

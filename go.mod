@@ -1,0 +1,3 @@
+module critics
+
+go 1.22

@@ -1,0 +1,274 @@
+// Package binimg assembles a program into an actual binary image using the
+// bit-level A32/T16 encodings, and decodes such images back with a streaming
+// decoder that models the ARM decoder's format state machine (paper Fig. 6
+// and §IV-B): 32-bit words by default, switching to 16-bit decoding for the
+// run length named by a CDP command, then back.
+//
+// This closes the loop on the encoding story: the compiler's output is not
+// just flags on an IR — it is bytes a decoder can actually walk. The
+// round-trip property (assemble then decode yields the original instruction
+// stream) is tested over whole transformed applications.
+//
+// Conventions: branch/call targets live in the program's CFG metadata, not
+// in the encoded words (the image encodes operation semantics; relocation is
+// the linker's job and out of scope). Zero words/halfwords are padding: the
+// workload generators never emit architectural NOPs, and the layout uses
+// zero bytes for alignment gaps.
+package binimg
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"critics/internal/encoding"
+	"critics/internal/isa"
+	"critics/internal/prog"
+)
+
+// exchangeBit marks an A32 branch as an Approach-1 format-exchange branch
+// (a spare bit in the otherwise-zero [11:4] field of the register form).
+const exchangeBit = 1 << 4
+
+// Assemble encodes p (which must be laid out) into a byte image of
+// p.CodeBytes bytes. Programs containing Expanded instructions are rejected:
+// expansion materializes extra instructions only in the dynamic stream, so
+// such programs (Compress output) have no single-halfword encoding here.
+func Assemble(p *prog.Program) ([]byte, error) {
+	if !p.LaidOut() {
+		p.Layout()
+	}
+	img := make([]byte, p.CodeBytes)
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Expanded {
+					return nil, fmt.Errorf("binimg: %s.b%d.i%d is Expanded; image assembly supports single-encoding programs only", f.Name, b.ID, i)
+				}
+				if int(in.Addr)+in.Size() > len(img) {
+					return nil, fmt.Errorf("binimg: instruction at %#x overruns image", in.Addr)
+				}
+				switch {
+				case in.Op == isa.OpCDP:
+					hw, err := encoding.EncodeCDP(in.CDPCount)
+					if err != nil {
+						return nil, fmt.Errorf("binimg: %s.b%d.i%d: %w", f.Name, b.ID, i, err)
+					}
+					binary.LittleEndian.PutUint16(img[in.Addr:], hw)
+				case in.Thumb:
+					hw, err := encoding.EncodeT16(in.Inst)
+					if err != nil {
+						return nil, fmt.Errorf("binimg: %s.b%d.i%d: %w", f.Name, b.ID, i, err)
+					}
+					binary.LittleEndian.PutUint16(img[in.Addr:], hw)
+				default:
+					w, err := encoding.EncodeA32(in.Inst)
+					if err != nil {
+						return nil, fmt.Errorf("binimg: %s.b%d.i%d: %w", f.Name, b.ID, i, err)
+					}
+					if in.ModeSwitch {
+						// Approach-1 exchange branch: a spare bit in
+						// the A32 zero field tells the decoder the
+						// following instructions are 16-bit, until a
+						// 16-bit branch switches back (§IV-A).
+						w |= exchangeBit
+					}
+					if encoding.IsCDP(uint16(w)) {
+						// The streaming decoder distinguishes CDP
+						// commands by their halfword pattern; an A32
+						// word whose low halfword collides would be
+						// ambiguous. (Collisions require rd = r6 with
+						// specific wide immediates; the workload
+						// conventions never produce them, and the
+						// assembler enforces it.)
+						return nil, fmt.Errorf("binimg: %s.b%d.i%d: A32 encoding of %v collides with the CDP pattern", f.Name, b.ID, i, in.Inst)
+					}
+					binary.LittleEndian.PutUint32(img[in.Addr:], w)
+				}
+			}
+		}
+	}
+	return img, nil
+}
+
+// Decoded is one decoded element of an image walk.
+type Decoded struct {
+	Addr     uint32
+	Inst     isa.Inst
+	Thumb    bool
+	IsCDP    bool
+	CDPCount int
+}
+
+// Decode walks the image from offset 0, reproducing the decoder's format
+// state machine, and returns the decoded stream (padding skipped).
+func Decode(img []byte) ([]Decoded, error) {
+	var out []Decoded
+	off := uint32(0)
+	thumbLeft := 0          // CDP-counted run remaining
+	thumbUntilExit := false // Approach-1: thumb until a 16-bit branch
+	for int(off) < len(img) {
+		if thumbLeft > 0 || thumbUntilExit {
+			if int(off)+2 > len(img) {
+				return nil, fmt.Errorf("binimg: truncated halfword at %#x", off)
+			}
+			hw := binary.LittleEndian.Uint16(img[off:])
+			in, err := encoding.DecodeT16(hw)
+			if err != nil {
+				return nil, fmt.Errorf("binimg: at %#x: %w", off, err)
+			}
+			out = append(out, Decoded{Addr: off, Inst: in, Thumb: true})
+			off += 2
+			if thumbLeft > 0 {
+				thumbLeft--
+			} else if in.Op == isa.OpB && in.Cond == isa.CondAL {
+				// The 16-bit exchange branch ends the run.
+				thumbUntilExit = false
+			}
+			continue
+		}
+		// 32-bit mode. A CDP command may sit at any halfword boundary
+		// (long converted runs chain CDPs back to back).
+		if int(off)+2 <= len(img) {
+			hw := binary.LittleEndian.Uint16(img[off:])
+			if encoding.IsCDP(hw) {
+				cdp, err := encoding.DecodeCDP(hw)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Decoded{Addr: off, Inst: isa.Inst{Op: isa.OpCDP, Rd: isa.NoReg, Rn: isa.NoReg, Rm: isa.NoReg}, Thumb: true, IsCDP: true, CDPCount: cdp.Count})
+				off += 2
+				thumbLeft = cdp.Count
+				continue
+			}
+		}
+		// A halfword-aligned position that is not a CDP is alignment
+		// padding after a Thumb run.
+		if off%4 == 2 {
+			if binary.LittleEndian.Uint16(img[off:]) != 0 {
+				return nil, fmt.Errorf("binimg: expected pad halfword at %#x", off)
+			}
+			off += 2
+			continue
+		}
+		if int(off)+4 > len(img) {
+			// Trailing pad shorter than a word.
+			for _, b := range img[off:] {
+				if b != 0 {
+					return nil, fmt.Errorf("binimg: trailing garbage at %#x", off)
+				}
+			}
+			break
+		}
+		w := binary.LittleEndian.Uint32(img[off:])
+		if w == 0 {
+			off += 4 // alignment padding between functions
+			continue
+		}
+		in, err := encoding.DecodeA32(w)
+		if err != nil {
+			return nil, fmt.Errorf("binimg: at %#x: %w", off, err)
+		}
+		out = append(out, Decoded{Addr: off, Inst: in})
+		off += 4
+		if in.Op == isa.OpB && in.Cond == isa.CondAL && w&exchangeBit != 0 {
+			thumbUntilExit = true
+		}
+	}
+	return out, nil
+}
+
+// Listing is a human-readable disassembly of one function from its image,
+// annotated with chain membership — the view cmd/criticdump prints.
+func Listing(p *prog.Program, img []byte, funcID int) (string, error) {
+	if funcID < 0 || funcID >= len(p.Funcs) {
+		return "", fmt.Errorf("binimg: no function %d", funcID)
+	}
+	f := p.Funcs[funcID]
+	s := fmt.Sprintf("%s:\n", f.Name)
+	for _, b := range f.Blocks {
+		s += fmt.Sprintf(".b%d:  (%s", b.ID, b.End)
+		switch b.End {
+		case prog.EndCondBranch:
+			s += fmt.Sprintf(" -> b%d p=%.2f", b.Taken, b.TakenProb)
+		case prog.EndJump:
+			s += fmt.Sprintf(" -> b%d", b.Taken)
+		case prog.EndCall:
+			s += fmt.Sprintf(" %s", p.Funcs[b.Callee].Name)
+		}
+		s += ")\n"
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			var bytes string
+			switch in.Size() {
+			case 2:
+				bytes = fmt.Sprintf("%04x    ", binary.LittleEndian.Uint16(img[in.Addr:]))
+			default:
+				bytes = fmt.Sprintf("%08x", binary.LittleEndian.Uint32(img[in.Addr:]))
+			}
+			tag := ""
+			if in.ChainID != 0 {
+				tag = fmt.Sprintf("   ; CritIC #%d", in.ChainID)
+			}
+			if in.Op == isa.OpCDP {
+				tag = fmt.Sprintf("   ; thumb-switch, covers %d", in.CDPCount)
+			}
+			if in.ModeSwitch {
+				tag = "   ; format-switch branch"
+			}
+			mode := "a32"
+			if in.Thumb {
+				mode = "t16"
+			}
+			s += fmt.Sprintf("  %06x  %s  %s  %-28s%s\n", in.Addr, bytes, mode, in.Inst.String(), tag)
+		}
+	}
+	return s, nil
+}
+
+// VerifyRoundTrip asserts that assembling and decoding p reproduces its
+// instruction stream exactly (addresses, modes and operations). Used by
+// tests and cmd/criticdump's -verify flag.
+func VerifyRoundTrip(p *prog.Program) error {
+	img, err := Assemble(p)
+	if err != nil {
+		return err
+	}
+	decoded, err := Decode(img)
+	if err != nil {
+		return err
+	}
+	idx := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if idx >= len(decoded) {
+					return fmt.Errorf("binimg: decoded stream ends early at %s.b%d.i%d", f.Name, b.ID, i)
+				}
+				d := decoded[idx]
+				idx++
+				if d.Addr != in.Addr {
+					return fmt.Errorf("binimg: address mismatch at %s.b%d.i%d: %#x vs %#x", f.Name, b.ID, i, d.Addr, in.Addr)
+				}
+				if in.Op == isa.OpCDP {
+					if !d.IsCDP || d.CDPCount != in.CDPCount {
+						return fmt.Errorf("binimg: CDP mismatch at %#x", in.Addr)
+					}
+					continue
+				}
+				if d.Thumb != in.Thumb {
+					return fmt.Errorf("binimg: mode mismatch at %#x", in.Addr)
+				}
+				want := encoding.Normalize(in.Inst)
+				if d.Inst != want {
+					return fmt.Errorf("binimg: instruction mismatch at %#x: %v vs %v", in.Addr, d.Inst, want)
+				}
+			}
+		}
+	}
+	if idx != len(decoded) {
+		return fmt.Errorf("binimg: %d trailing decoded instructions", len(decoded)-idx)
+	}
+	return nil
+}

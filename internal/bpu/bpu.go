@@ -1,0 +1,153 @@
+// Package bpu implements the branch direction predictor of the baseline
+// configuration (Table I: "4k Entry 2 level BPU"): a two-level tournament —
+// a PC-indexed bimodal table, a gshare table (global history XOR PC), and a
+// PC-indexed chooser that learns which component predicts each branch
+// better. Calls and returns are assumed target-predicted by BTB/RAS (the
+// simulator charges them no misprediction penalty), matching how the paper's
+// fetch-stall taxonomy attributes branch costs.
+//
+// A Perfect mode supports the PerfectBr configuration of §IV-G.
+package bpu
+
+// Config sizes the predictor.
+type Config struct {
+	Entries     int  // entries per component table (power of two)
+	HistoryBits int  // global history length
+	RASDepth    int  // return-address stack entries
+	Perfect     bool // never mispredict (PerfectBr)
+}
+
+// DefaultConfig matches Table I.
+func DefaultConfig() Config {
+	return Config{Entries: 4096, HistoryBits: 12, RASDepth: 16}
+}
+
+// Predictor is a tournament branch direction predictor.
+type Predictor struct {
+	cfg     Config
+	bimodal []uint8
+	gshare  []uint8
+	chooser []uint8 // >= 2: trust gshare
+	ghr     uint32
+	mask    uint32
+	hmask   uint32
+
+	ras    []uint32
+	rasTop int
+
+	// Stats.
+	Lookups       int64
+	Mispredict    int64
+	RetLookups    int64
+	RetMispredict int64
+}
+
+// New creates a predictor. Entries is rounded up to a power of two.
+func New(cfg Config) *Predictor {
+	if cfg.Entries <= 0 {
+		cfg.Entries = 4096
+	}
+	n := 1
+	for n < cfg.Entries {
+		n <<= 1
+	}
+	p := &Predictor{
+		cfg:     cfg,
+		bimodal: make([]uint8, n),
+		gshare:  make([]uint8, n),
+		chooser: make([]uint8, n),
+		mask:    uint32(n - 1),
+		hmask:   (1 << uint(cfg.HistoryBits)) - 1,
+	}
+	for i := 0; i < n; i++ {
+		p.bimodal[i] = 2 // weakly taken
+		p.gshare[i] = 2
+		p.chooser[i] = 1 // weakly bimodal
+	}
+	if cfg.RASDepth <= 0 {
+		cfg.RASDepth = 16
+		p.cfg.RASDepth = 16
+	}
+	p.ras = make([]uint32, cfg.RASDepth)
+	return p
+}
+
+// Call pushes a return address onto the return-address stack (wrapping on
+// overflow, which corrupts the oldest entry — the realistic failure mode).
+func (p *Predictor) Call(returnAddr uint32) {
+	p.ras[p.rasTop%len(p.ras)] = returnAddr
+	p.rasTop++
+}
+
+// Return predicts a return target against the actual one and reports
+// whether the prediction was correct. In Perfect mode it always is.
+func (p *Predictor) Return(actual uint32) bool {
+	p.RetLookups++
+	if p.cfg.Perfect {
+		return true
+	}
+	if p.rasTop == 0 {
+		p.RetMispredict++
+		return false
+	}
+	p.rasTop--
+	pred := p.ras[p.rasTop%len(p.ras)]
+	if pred != actual {
+		p.RetMispredict++
+		return false
+	}
+	return true
+}
+
+func sat(c *uint8, taken bool) {
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+// PredictAndUpdate predicts the direction of the conditional branch at pc,
+// then trains on the actual outcome. It returns whether the prediction was
+// correct. In Perfect mode it always returns true.
+func (p *Predictor) PredictAndUpdate(pc uint32, taken bool) bool {
+	p.Lookups++
+	if p.cfg.Perfect {
+		return true
+	}
+	bi := (pc >> 2) & p.mask
+	gi := ((pc >> 2) ^ (p.ghr & p.hmask)) & p.mask
+	bPred := p.bimodal[bi] >= 2
+	gPred := p.gshare[gi] >= 2
+	pred := bPred
+	if p.chooser[bi] >= 2 {
+		pred = gPred
+	}
+	// Chooser trains toward the component that was right when they
+	// disagree.
+	if bPred != gPred {
+		sat(&p.chooser[bi], gPred == taken)
+	}
+	sat(&p.bimodal[bi], taken)
+	sat(&p.gshare[gi], taken)
+	hist := uint32(0)
+	if taken {
+		hist = 1
+	}
+	p.ghr = ((p.ghr << 1) | hist) & p.hmask
+	if pred != taken {
+		p.Mispredict++
+		return false
+	}
+	return true
+}
+
+// MispredictRate returns the fraction of lookups that mispredicted.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredict) / float64(p.Lookups)
+}

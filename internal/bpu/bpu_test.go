@@ -1,0 +1,138 @@
+package bpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLearnsBiasedBranch(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint32(0x1000)
+	correct := 0
+	for i := 0; i < 1000; i++ {
+		if p.PredictAndUpdate(pc, true) {
+			correct++
+		}
+	}
+	if correct < 990 {
+		t.Errorf("always-taken branch predicted correctly only %d/1000", correct)
+	}
+}
+
+func TestLearnsAlternatingPattern(t *testing.T) {
+	// Two-level predictors capture short periodic patterns via history.
+	p := New(DefaultConfig())
+	pc := uint32(0x2000)
+	correct := 0
+	for i := 0; i < 4000; i++ {
+		taken := i%2 == 0
+		if p.PredictAndUpdate(pc, taken) {
+			correct++
+		}
+	}
+	if frac := float64(correct) / 4000; frac < 0.9 {
+		t.Errorf("alternating pattern accuracy %.3f; two-level should learn it", frac)
+	}
+}
+
+func TestRandomBranchNearChance(t *testing.T) {
+	p := New(DefaultConfig())
+	r := rand.New(rand.NewSource(5))
+	pc := uint32(0x3000)
+	correct := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if p.PredictAndUpdate(pc, r.Intn(2) == 0) {
+			correct++
+		}
+	}
+	frac := float64(correct) / float64(n)
+	if frac > 0.6 {
+		t.Errorf("random branch predicted at %.3f; predictor is cheating", frac)
+	}
+	if frac < 0.4 {
+		t.Errorf("random branch predicted at %.3f; below chance", frac)
+	}
+}
+
+func TestPerfectMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Perfect = true
+	p := New(cfg)
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 1000; i++ {
+		if !p.PredictAndUpdate(uint32(i*4), r.Intn(2) == 0) {
+			t.Fatal("perfect predictor mispredicted")
+		}
+	}
+	if p.Mispredict != 0 {
+		t.Error("perfect predictor recorded mispredictions")
+	}
+}
+
+func TestMispredictRate(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint32(0x4000)
+	for i := 0; i < 100; i++ {
+		p.PredictAndUpdate(pc, true)
+	}
+	if p.MispredictRate() > 0.1 {
+		t.Errorf("rate %.3f too high for biased branch", p.MispredictRate())
+	}
+	if p.Lookups != 100 {
+		t.Errorf("lookups = %d", p.Lookups)
+	}
+}
+
+func TestRASPredictsNestedReturns(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Call(0x100)
+	p.Call(0x200)
+	p.Call(0x300)
+	if !p.Return(0x300) || !p.Return(0x200) || !p.Return(0x100) {
+		t.Error("nested returns mispredicted")
+	}
+	if p.RetMispredict != 0 {
+		t.Errorf("RetMispredict = %d", p.RetMispredict)
+	}
+}
+
+func TestRASOverflowCorrupts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RASDepth = 4
+	p := New(cfg)
+	for i := 0; i < 6; i++ {
+		p.Call(uint32(0x100 + i*16))
+	}
+	// The two oldest entries were overwritten; the four newest predict.
+	for i := 5; i >= 2; i-- {
+		if !p.Return(uint32(0x100 + i*16)) {
+			t.Errorf("entry %d should predict", i)
+		}
+	}
+	ok := 0
+	for i := 1; i >= 0; i-- {
+		if p.Return(uint32(0x100 + i*16)) {
+			ok++
+		}
+	}
+	if ok == 2 {
+		t.Error("overflowed entries still predicted correctly")
+	}
+}
+
+func TestRASUnderflowMispredicts(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.Return(0x500) {
+		t.Error("empty RAS predicted a return")
+	}
+}
+
+func TestRASPerfectMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Perfect = true
+	p := New(cfg)
+	if !p.Return(0x123) {
+		t.Error("perfect mode mispredicted a return")
+	}
+}

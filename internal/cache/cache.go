@@ -1,0 +1,342 @@
+// Package cache implements the cache hierarchy of the baseline platform
+// (Table I): a 2-way 32KB i-cache and a 64KB d-cache with 2-cycle hit
+// latency, an 8-way 2MB L2 with 10-cycle hits, the CLPT data prefetcher
+// sitting at the L2, and the EFetch instruction prefetcher (§IV-G) — plus
+// the LPDDR3 controller behind them (internal/dram).
+//
+// Timing model: caches are set-associative with LRU replacement; each line
+// carries a readyAt timestamp so in-flight fills and prefetches give partial
+// hits (an access to a line still being filled waits for the fill). The CPU
+// model charges only latencies above the pipelined hit time.
+package cache
+
+import "critics/internal/dram"
+
+// LineBytes is the line size used throughout the hierarchy.
+const LineBytes = 64
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	HitLat    int64
+}
+
+type line struct {
+	tag     uint32
+	valid   bool
+	readyAt int64
+	lastUse int64
+}
+
+// Cache is one set-associative cache with LRU replacement.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	shift uint
+	mask  uint32
+
+	// Stats.
+	Accesses int64
+	Misses   int64
+}
+
+// NewCache builds a cache; sets are derived from size/ways/line.
+func NewCache(cfg Config) *Cache {
+	nsets := cfg.SizeBytes / (cfg.Ways * LineBytes)
+	if nsets < 1 {
+		nsets = 1
+	}
+	// Round down to a power of two for cheap indexing.
+	p := 1
+	for p*2 <= nsets {
+		p *= 2
+	}
+	nsets = p
+	c := &Cache{cfg: cfg, sets: make([][]line, nsets), mask: uint32(nsets - 1)}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	c.shift = 6 // log2(LineBytes)
+	return c
+}
+
+// lookup finds the way holding addr's line, or -1.
+func (c *Cache) lookup(addr uint32) (set uint32, way int) {
+	lineAddr := addr >> c.shift
+	set = lineAddr & c.mask
+	tag := lineAddr // full line address as tag: simple and unambiguous
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.valid && l.tag == tag {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+// Probe reports whether addr's line is present (no state change, no stats).
+func (c *Cache) Probe(addr uint32) bool {
+	_, way := c.lookup(addr)
+	return way >= 0
+}
+
+// Access looks up addr at cycle now. It returns (hit, readyAt): on a hit,
+// readyAt is when the data is available (>= now + HitLat; later if the line
+// is still in flight). On a miss the caller must fill the line via Install
+// and compute readyAt from the lower level.
+func (c *Cache) Access(addr uint32, now int64) (bool, int64) {
+	c.Accesses++
+	set, way := c.lookup(addr)
+	if way < 0 {
+		c.Misses++
+		return false, 0
+	}
+	l := &c.sets[set][way]
+	l.lastUse = now
+	ready := now + c.cfg.HitLat
+	if l.readyAt > ready {
+		ready = l.readyAt
+	}
+	return true, ready
+}
+
+// Install fills addr's line, available at readyAt, evicting LRU.
+func (c *Cache) Install(addr uint32, readyAt int64) {
+	lineAddr := addr >> c.shift
+	set := lineAddr & c.mask
+	victim := 0
+	var oldest int64 = 1<<63 - 1
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if !l.valid {
+			victim = w
+			break
+		}
+		if l.lastUse < oldest {
+			oldest = l.lastUse
+			victim = w
+		}
+	}
+	c.sets[set][victim] = line{tag: lineAddr, valid: true, readyAt: readyAt, lastUse: readyAt}
+}
+
+// MissRate returns misses/accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// HitLat exposes the configured hit latency.
+func (c *Cache) HitLat() int64 { return c.cfg.HitLat }
+
+// Prefetcher issues prefetches into a cache level.
+
+// CLPT is the stride prefetcher at the L2 of the baseline configuration
+// (Table I cites [18]'s table: 1024 x 7-bit entries). It is PC-indexed:
+// each entry remembers the last address and stride of a load PC and, on a
+// stride match, prefetches the next lines into L2.
+type CLPT struct {
+	entries []clptEntry
+	mask    uint32
+
+	Prefetches int64
+}
+
+type clptEntry struct {
+	lastAddr uint32
+	stride   int32
+	conf     uint8
+}
+
+// NewCLPT builds the prefetcher with n entries (rounded to a power of two).
+func NewCLPT(n int) *CLPT {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return &CLPT{entries: make([]clptEntry, p), mask: uint32(p - 1)}
+}
+
+// Train observes a demand access by the load at pc to addr and returns a
+// prefetch address (0 if none).
+func (c *CLPT) Train(pc, addr uint32) uint32 {
+	e := &c.entries[(pc>>2)&c.mask]
+	stride := int32(addr) - int32(e.lastAddr)
+	if stride == e.stride && stride != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		if e.conf > 0 {
+			e.conf--
+		}
+	}
+	e.lastAddr = addr
+	if e.conf >= 2 && e.stride != 0 {
+		c.Prefetches++
+		return uint32(int64(addr) + int64(e.stride)*2)
+	}
+	return 0
+}
+
+// EFetch is the call-stack-driven instruction prefetcher of §IV-G ([71]): it
+// learns which function a call site transfers to and, when the site is seen
+// again, prefetches the first lines of the predicted callee. (The paper's
+// version keys on user-event call-stack history with a 39KB table; keying on
+// the call-site PC captures the same next-function locality for our
+// single-threaded traces.)
+type EFetch struct {
+	table map[uint32]uint32 // call-site PC -> callee entry address
+	depth int               // lines prefetched per prediction
+
+	Predictions int64
+}
+
+// NewEFetch builds the prefetcher; depth is the number of 64B lines warmed
+// per predicted callee.
+func NewEFetch(depth int) *EFetch {
+	return &EFetch{table: make(map[uint32]uint32), depth: depth}
+}
+
+// Predict returns the predicted callee entry for a call site (0 if unknown).
+func (e *EFetch) Predict(sitePC uint32) uint32 {
+	t, ok := e.table[sitePC]
+	if !ok {
+		return 0
+	}
+	e.Predictions++
+	return t
+}
+
+// Train records the observed callee of a call site.
+func (e *EFetch) Train(sitePC, callee uint32) {
+	e.table[sitePC] = callee
+}
+
+// Depth returns the configured prefetch depth in lines.
+func (e *EFetch) Depth() int { return e.depth }
+
+// HierConfig configures the full hierarchy.
+type HierConfig struct {
+	L1I Config
+	L1D Config
+	L2  Config
+
+	CLPTEntries int // 0 disables the L2 data prefetcher
+	EFetchDepth int // 0 disables the instruction prefetcher
+
+	DRAM dram.Config
+}
+
+// DefaultHierConfig matches Table I.
+func DefaultHierConfig() HierConfig {
+	return HierConfig{
+		L1I:         Config{SizeBytes: 32 << 10, Ways: 2, HitLat: 2},
+		L1D:         Config{SizeBytes: 64 << 10, Ways: 2, HitLat: 2},
+		L2:          Config{SizeBytes: 2 << 20, Ways: 8, HitLat: 10},
+		CLPTEntries: 1024,
+		EFetchDepth: 0,
+		DRAM:        dram.DefaultConfig(),
+	}
+}
+
+// Hierarchy ties L1I/L1D/L2/DRAM and the prefetchers together.
+type Hierarchy struct {
+	L1I, L1D, L2 *Cache
+	DRAM         *dram.Controller
+	CLPT         *CLPT
+	EFetch       *EFetch
+}
+
+// NewHierarchy builds the hierarchy from cfg.
+func NewHierarchy(cfg HierConfig) *Hierarchy {
+	h := &Hierarchy{
+		L1I:  NewCache(cfg.L1I),
+		L1D:  NewCache(cfg.L1D),
+		L2:   NewCache(cfg.L2),
+		DRAM: dram.New(cfg.DRAM),
+	}
+	if cfg.CLPTEntries > 0 {
+		h.CLPT = NewCLPT(cfg.CLPTEntries)
+	}
+	if cfg.EFetchDepth > 0 {
+		h.EFetch = NewEFetch(cfg.EFetchDepth)
+	}
+	return h
+}
+
+// fillFromL2 resolves a miss below L1: L2 then DRAM. Returns data-ready
+// cycle and installs lines on the way up.
+func (h *Hierarchy) fillFromL2(addr uint32, now int64) int64 {
+	if hit, ready := h.L2.Access(addr, now); hit {
+		return ready
+	}
+	done := h.DRAM.Access(addr, now)
+	h.L2.Install(addr, done)
+	return done
+}
+
+// Instr performs an instruction fetch access for the line containing addr at
+// cycle now, returning the cycle the bytes are available.
+func (h *Hierarchy) Instr(addr uint32, now int64) int64 {
+	if hit, ready := h.L1I.Access(addr, now); hit {
+		return ready
+	}
+	ready := h.fillFromL2(addr, now)
+	h.L1I.Install(addr, ready)
+	return ready
+}
+
+// PrefetchInstr warms the line containing addr into L1I without counting a
+// demand access (used by EFetch).
+func (h *Hierarchy) PrefetchInstr(addr uint32, now int64) {
+	if h.L1I.Probe(addr) {
+		return
+	}
+	ready := h.fillFromL2(addr, now)
+	h.L1I.Install(addr, ready)
+}
+
+// Data performs a data access by the load/store at pc to addr, returning the
+// data-ready cycle. Stores install lines but callers typically ignore their
+// latency (store buffering). CLPT trains on L1D misses that reach the L2
+// and prefetches into the L2 only — it is the baseline's L2-side prefetcher
+// (Table I), hiding DRAM latency behind the 10-cycle L2 hit.
+func (h *Hierarchy) Data(pc, addr uint32, now int64) int64 {
+	if hit, ready := h.L1D.Access(addr, now); hit {
+		return ready
+	}
+	ready := h.fillFromL2(addr, now)
+	h.L1D.Install(addr, ready)
+	if h.CLPT != nil {
+		if pf := h.CLPT.Train(pc, addr); pf != 0 {
+			h.PrefetchL2(pf, now)
+		}
+	}
+	return ready
+}
+
+// PrefetchL2 warms the line containing addr into the L2 only (the baseline
+// CLPT's insertion level).
+func (h *Hierarchy) PrefetchL2(addr uint32, now int64) {
+	if h.L2.Probe(addr) {
+		return
+	}
+	done := h.DRAM.Access(addr, now)
+	h.L2.Install(addr, done)
+}
+
+// PrefetchData warms the line containing addr all the way into the L1D —
+// the insertion level of the criticality-directed load prefetcher ([18]),
+// which is what saves the L2 hit latency on predicted-critical loads.
+func (h *Hierarchy) PrefetchData(addr uint32, now int64) {
+	if h.L1D.Probe(addr) {
+		return
+	}
+	ready := h.fillFromL2(addr, now)
+	h.L1D.Install(addr, ready)
+}

@@ -1,0 +1,602 @@
+// Package cpu is the cycle-level timing model of the baseline platform's
+// core (Table I): a 4-wide Fetch/Decode/Rename/ROB/Issue/Execute/Commit
+// out-of-order superscalar with a 128-entry ROB, the two-level branch
+// predictor (internal/bpu) and the cache/DRAM hierarchy (internal/cache)
+// behind it.
+//
+// The simulator is trace-driven: it consumes the dynamic stream produced by
+// internal/trace (control flow and addresses resolved) but models the fetch
+// path faithfully — i-cache timing, fetch byte bandwidth, Thumb/CDP decode,
+// branch prediction versus actual outcome, and misprediction redirect
+// stalls — because the front end is where the paper's action is.
+//
+// Fetch bandwidth model: the i-cache read port delivers FetchBytes per cycle
+// (8 in the baseline, the Cortex-A53-style fetch window), capped at
+// FetchWidth instructions. A 32-bit-encoded stream therefore sustains at
+// most 2 instructions/cycle into the fetch buffer while 16-bit Thumb code
+// sustains 4 — the mechanical root of the paper's "nearly doubles the fetch
+// bandwidth" claim.
+//
+// Per-instruction stall attribution matches the paper's taxonomy (§II-D):
+// F.StallForI is the time from when an instruction becomes the next to fetch
+// until its bytes enter the fetch buffer (i-cache misses, redirects, byte
+// bandwidth); F.StallForR+D is the time it then waits in the fetch buffer
+// for the decode stage to drain it (back-pressure).
+package cpu
+
+import (
+	"critics/internal/bpu"
+	"critics/internal/cache"
+	"critics/internal/isa"
+	"critics/internal/trace"
+)
+
+// Config describes the core and its optimization hooks.
+type Config struct {
+	FetchWidth   int // instructions fetched per cycle (cap)
+	FetchBytes   int // bytes fetched per cycle (port width)
+	DecodeWidth  int
+	RenameWidth  int
+	IssueWidth   int
+	CommitWidth  int
+	ROBSize      int
+	IQSize       int
+	LSQSize      int
+	FetchBufSize int
+
+	IntALUs  int
+	MulDivUs int
+	FPUs     int
+	MemPorts int
+
+	MispredictPenalty int64
+
+	// CDPExtraDecodeCycle charges the 1-cycle decoder bubble the paper
+	// conservatively assumes for the CDP mode switch (§IV-B).
+	CDPExtraDecodeCycle bool
+
+	BPU  bpu.Config
+	Hier cache.HierConfig
+
+	// Optimization hooks (the paper's baselines and comparisons).
+	CriticalLoadPrefetch bool // [18]: prefetch loads predicted critical
+	BackendPrio          bool // [32]/[33]: issue critical instructions first
+	CritFanoutThreshold  int32
+
+	// CollectRecords keeps per-instruction stage timestamps (needed for
+	// the Fig. 3 breakdowns; costs memory on big windows).
+	CollectRecords bool
+}
+
+// DefaultConfig returns the Table I baseline.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:          4,
+		FetchBytes:          8,
+		DecodeWidth:         4,
+		RenameWidth:         4,
+		IssueWidth:          4,
+		CommitWidth:         4,
+		ROBSize:             128,
+		IQSize:              48,
+		LSQSize:             32,
+		FetchBufSize:        24,
+		IntALUs:             3,
+		MulDivUs:            1,
+		FPUs:                2,
+		MemPorts:            2,
+		MispredictPenalty:   10,
+		CDPExtraDecodeCycle: true,
+		BPU:                 bpu.DefaultConfig(),
+		Hier:                cache.DefaultHierConfig(),
+		CritFanoutThreshold: 8,
+	}
+}
+
+// Record holds per-instruction stage timestamps (cycles). -1 = not reached.
+type Record struct {
+	Eligible   int64 // became next-to-fetch
+	Fetched    int64 // entered the fetch buffer
+	DecodeDone int64 // left the fetch buffer through decode
+	Dispatched int64 // renamed into ROB+IQ
+	Issued     int64 // selected for execution
+	Done       int64 // result available
+	Committed  int64
+}
+
+// Breakdown is a per-stage cycle attribution (Fig. 3a/3b).
+type Breakdown struct {
+	FetchI  int64 // F.StallForI
+	FetchRD int64 // F.StallForR+D
+	Decode  int64 // decode-to-rename wait
+	Rename  int64 // dispatch-to-issue-eligibility (ROB/IQ residency before issue)
+	Execute int64
+	Commit  int64 // completion-to-commit (ROB drain)
+}
+
+// Total returns the summed cycles.
+func (b Breakdown) Total() int64 {
+	return b.FetchI + b.FetchRD + b.Decode + b.Rename + b.Execute + b.Commit
+}
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.FetchI += o.FetchI
+	b.FetchRD += o.FetchRD
+	b.Decode += o.Decode
+	b.Rename += o.Rename
+	b.Execute += o.Execute
+	b.Commit += o.Commit
+}
+
+// BreakdownOf converts a record into per-stage dwell times.
+func BreakdownOf(r *Record) Breakdown {
+	clamp := func(v int64) int64 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	var b Breakdown
+	b.FetchI = clamp(r.Fetched - r.Eligible)
+	b.FetchRD = clamp(r.DecodeDone - r.Fetched - 1)
+	b.Decode = clamp(r.Dispatched - r.DecodeDone - 1)
+	b.Rename = clamp(r.Issued - r.Dispatched - 1)
+	b.Execute = clamp(r.Done - r.Issued)
+	b.Commit = clamp(r.Committed - r.Done)
+	return b
+}
+
+// Result is the outcome of simulating one window.
+type Result struct {
+	Cycles  int64
+	Instrs  int64 // architectural instructions (CDPs excluded)
+	AllDyns int64 // including CDP mode switches
+
+	Mispredicts int64
+	CondBr      int64
+
+	// Per-run memory-system event counts (deltas over this Run call; the
+	// hierarchy's own counters are cumulative across runs). The energy
+	// model consumes these.
+	ICacheAccesses int64
+	ICacheMisses   int64
+	DCacheAccesses int64
+	DCacheMisses   int64
+	L2Accesses     int64
+	DRAMAccesses   int64
+
+	// Hierarchy/BPU handles for stats and the energy model.
+	Hier *cache.Hierarchy
+	BPU  *bpu.Predictor
+
+	// Records is non-nil when Config.CollectRecords is set; aligned with
+	// the input dyn slice.
+	Records []Record
+}
+
+// IPC returns architectural instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instrs) / float64(r.Cycles)
+}
+
+// Sim is the simulator instance. Hierarchy and predictor state persist
+// across Run calls, so successive windows see warm caches.
+type Sim struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	bpu  *bpu.Predictor
+
+	// Criticality predictor table (PC-indexed), trained at commit from
+	// observed fanout — the hardware-table analogue both baseline
+	// optimizations rely on (§II-A). For loads it additionally learns the
+	// address stride, so the critical-load prefetcher ([18]) can issue
+	// the *next* occurrence's line ahead of time.
+	critTable map[uint32]*critEntry
+
+	// clock is the absolute cycle count across Run calls; cache and DRAM
+	// timestamps are absolute, so successive windows continue the clock
+	// instead of restarting it (otherwise warm lines would look like
+	// in-flight fills).
+	clock int64
+}
+
+// critEntry is one criticality-table entry.
+type critEntry struct {
+	crit     uint8 // saturating criticality confidence
+	lastAddr uint32
+	stride   int32
+	conf     uint8 // stride confidence
+}
+
+// New creates a simulator.
+func New(cfg Config) *Sim {
+	return &Sim{
+		cfg:       cfg,
+		hier:      cache.NewHierarchy(cfg.Hier),
+		bpu:       bpu.New(cfg.BPU),
+		critTable: make(map[uint32]*critEntry),
+	}
+}
+
+// predCritical reports whether the PC is predicted critical.
+func (s *Sim) predCritical(pc uint32) bool {
+	e := s.critTable[pc]
+	return e != nil && e.crit >= 2
+}
+
+// trainCritical updates the criticality table with an observed fanout and,
+// for loads, the address stride. When the critical-load prefetch hook is on
+// and the stride is confident, the next occurrences' lines are prefetched —
+// the form of [18]'s criticality-directed prefetching that actually hides
+// DRAM latency for strided critical loads.
+func (s *Sim) trainCritical(d *trace.Dyn, fanout int32, now int64) {
+	e := s.critTable[d.Addr]
+	if e == nil {
+		e = &critEntry{}
+		s.critTable[d.Addr] = e
+	}
+	if fanout >= s.cfg.CritFanoutThreshold {
+		if e.crit < 3 {
+			e.crit++
+		}
+	} else if e.crit > 0 {
+		e.crit--
+	}
+	if !d.IsLoad {
+		return
+	}
+	stride := int32(d.MemAddr) - int32(e.lastAddr)
+	if stride == e.stride && stride != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		if e.conf > 0 {
+			e.conf--
+		}
+	}
+	e.lastAddr = d.MemAddr
+	if s.cfg.CriticalLoadPrefetch && e.crit >= 2 && e.conf >= 2 {
+		for k := int64(1); k <= 3; k++ {
+			s.hier.PrefetchData(uint32(int64(d.MemAddr)+k*int64(e.stride)), s.clock+now)
+		}
+	}
+}
+
+const noIdx = -1
+
+// Run simulates one dynamic window. fanouts may be nil; when provided
+// (aligned with dyns, from dfg.Fanouts) it trains the criticality table and
+// drives the BackendPrio/CriticalLoadPrefetch hooks.
+func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
+	n := len(dyns)
+	res := Result{Hier: s.hier, BPU: s.bpu}
+	if n == 0 {
+		return res
+	}
+	rec := make([]Record, n)
+	for i := range rec {
+		rec[i] = Record{Eligible: -1, Fetched: -1, DecodeDone: -1, Dispatched: -1, Issued: -1, Done: -1, Committed: -1}
+	}
+	ia0, im0 := s.hier.L1I.Accesses, s.hier.L1I.Misses
+	da0, dm0 := s.hier.L1D.Accesses, s.hier.L1D.Misses
+	l20, dr0 := s.hier.L2.Accesses, s.hier.DRAM.Accesses
+
+	type fifo struct {
+		buf  []int32
+		head int
+	}
+	push := func(f *fifo, v int32) { f.buf = append(f.buf, v) }
+	size := func(f *fifo) int { return len(f.buf) - f.head }
+	front := func(f *fifo) int32 { return f.buf[f.head] }
+	pop := func(f *fifo) {
+		f.head++
+		if f.head > 1024 && f.head*2 > len(f.buf) {
+			f.buf = append(f.buf[:0], f.buf[f.head:]...)
+			f.head = 0
+		}
+	}
+
+	var (
+		now int64
+
+		fetchIdx          int
+		fetchBlockedUntil int64
+		redirectBranch    = noIdx
+
+		fetchBuf fifo
+		renameQ  fifo
+
+		rob     fifo
+		iq      []int32
+		lsqUsed int
+
+		committed int64
+		instrs    int64
+
+		decodeBlockedUntil int64
+	)
+	rec[0].Eligible = 0
+	base := dyns[0].Seq
+
+	prodsDone := func(d *trace.Dyn) bool {
+		for k := uint8(0); k < d.NProd; k++ {
+			p := d.Prod[k] - base
+			if p < 0 {
+				continue
+			}
+			pd := rec[p].Done
+			if pd < 0 || pd > now {
+				return false
+			}
+		}
+		return true
+	}
+
+	for committed < int64(n) {
+		// ---- Commit ----
+		for w := 0; w < s.cfg.CommitWidth && size(&rob) > 0; w++ {
+			idx := front(&rob)
+			d := &dyns[idx]
+			r := &rec[idx]
+			if r.Done < 0 || r.Done > now {
+				break
+			}
+			r.Committed = now
+			pop(&rob)
+			committed++
+			if !d.Overhead {
+				instrs++
+			}
+			if d.IsLoad || d.IsStore {
+				lsqUsed--
+			}
+			if fanouts != nil {
+				s.trainCritical(d, fanouts[idx], now)
+			}
+		}
+
+		// ---- Redirect resolution ----
+		if redirectBranch != noIdx {
+			if dn := rec[redirectBranch].Done; dn >= 0 {
+				until := dn + s.cfg.MispredictPenalty
+				if until > fetchBlockedUntil {
+					fetchBlockedUntil = until
+				}
+				redirectBranch = noIdx
+			}
+		}
+
+		// ---- Issue / execute ----
+		intALU, mulDiv, fpu, mem := s.cfg.IntALUs, s.cfg.MulDivUs, s.cfg.FPUs, s.cfg.MemPorts
+		budget := s.cfg.IssueWidth
+		// Two passes under BackendPrio: critical-predicted first.
+		passes := 1
+		if s.cfg.BackendPrio {
+			passes = 2
+		}
+		for pass := 0; pass < passes && budget > 0; pass++ {
+			for qi := 0; qi < len(iq) && budget > 0; qi++ {
+				idx := iq[qi]
+				if idx == noIdx {
+					continue
+				}
+				d := &dyns[idx]
+				if s.cfg.BackendPrio {
+					crit := s.predCritical(d.Addr)
+					if pass == 0 && !crit {
+						continue
+					}
+					if pass == 1 && crit {
+						continue
+					}
+				}
+				r := &rec[idx]
+				if r.Dispatched >= now {
+					continue
+				}
+				if !prodsDone(d) {
+					continue
+				}
+				var pool *int
+				switch d.Class {
+				case isa.ClassMul, isa.ClassDiv:
+					pool = &mulDiv
+				case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
+					pool = &fpu
+				case isa.ClassLoad, isa.ClassStore:
+					pool = &mem
+				default:
+					pool = &intALU
+				}
+				if *pool == 0 {
+					continue
+				}
+				*pool--
+				budget--
+				r.Issued = now
+				switch {
+				case d.IsLoad:
+					start := now + int64(d.Latency) // AGU + access initiation
+					r.Done = s.hier.Data(d.Addr, d.MemAddr, s.clock+start) - s.clock
+				case d.IsStore:
+					r.Done = now + 1
+					s.hier.Data(d.Addr, d.MemAddr, s.clock+now+1) // line install; store buffered
+				default:
+					r.Done = now + int64(d.Latency)
+				}
+				iq[qi] = noIdx
+			}
+		}
+		// Compact the issue queue occasionally.
+		if len(iq) > 0 {
+			out := iq[:0]
+			for _, v := range iq {
+				if v != noIdx {
+					out = append(out, v)
+				}
+			}
+			iq = out
+		}
+
+		// ---- Rename / dispatch ----
+		for w := 0; w < s.cfg.RenameWidth && size(&renameQ) > 0; w++ {
+			idx := front(&renameQ)
+			d := &dyns[idx]
+			if rec[idx].DecodeDone >= now {
+				break
+			}
+			if size(&rob) >= s.cfg.ROBSize || len(iq) >= s.cfg.IQSize {
+				break
+			}
+			if (d.IsLoad || d.IsStore) && lsqUsed >= s.cfg.LSQSize {
+				break
+			}
+			pop(&renameQ)
+			rec[idx].Dispatched = now
+			push(&rob, idx)
+			iq = append(iq, idx)
+			if d.IsLoad || d.IsStore {
+				lsqUsed++
+			}
+		}
+
+		// ---- Decode ----
+		// The rename queue is a small latch between decode and rename;
+		// when rename stalls (ROB/IQ full) it fills and decode stops,
+		// pushing the back-pressure into the fetch buffer where it is
+		// attributed as F.StallForR+D.
+		renameQCap := 2 * s.cfg.RenameWidth
+		if now >= decodeBlockedUntil {
+			slots := s.cfg.DecodeWidth
+			for slots > 0 && size(&fetchBuf) > 0 && size(&renameQ) < renameQCap {
+				idx := front(&fetchBuf)
+				d := &dyns[idx]
+				if rec[idx].Fetched >= now {
+					break
+				}
+				pop(&fetchBuf)
+				slots--
+				rec[idx].DecodeDone = now
+				if d.IsCDP {
+					// The mode switch is consumed by the decoder; it
+					// never enters the ROB. Charge the conservative
+					// 1-cycle decoder bubble.
+					rec[idx].Dispatched = now
+					rec[idx].Issued = now
+					rec[idx].Done = now
+					rec[idx].Committed = now
+					committed++
+					if s.cfg.CDPExtraDecodeCycle {
+						// The mode switch flushes the rest of this
+						// decode group (a sub-cycle bubble); decoding
+						// resumes next cycle in the new mode.
+						break
+					}
+					continue
+				}
+				push(&renameQ, idx)
+			}
+		}
+
+		// ---- Fetch ----
+		if redirectBranch == noIdx && now >= fetchBlockedUntil {
+			bytes := s.cfg.FetchBytes
+			slots := s.cfg.FetchWidth
+			var curLine int64 = -1
+			for slots > 0 && fetchIdx < n && size(&fetchBuf) < s.cfg.FetchBufSize {
+				d := &dyns[fetchIdx]
+				if int(d.Size) > bytes {
+					break
+				}
+				line := int64(d.Addr &^ (cache.LineBytes - 1))
+				if line != curLine {
+					ready := s.hier.Instr(uint32(line), s.clock+now) - s.clock
+					if ready > now+s.hier.L1I.HitLat() {
+						// Miss (or in-flight fill): fetch stalls.
+						fetchBlockedUntil = ready
+						break
+					}
+					curLine = line
+				}
+				idx := int32(fetchIdx)
+				rec[fetchIdx].Fetched = now
+				push(&fetchBuf, idx)
+				bytes -= int(d.Size)
+				slots--
+
+				// Optimization hooks at fetch.
+				if s.cfg.CriticalLoadPrefetch && d.IsLoad && s.predCritical(d.Addr) {
+					s.hier.PrefetchData(d.MemAddr, s.clock+now)
+				}
+				if s.hier.EFetch != nil && d.Op == isa.OpBL {
+					if target := s.hier.EFetch.Predict(d.Addr); target != 0 {
+						for l := 0; l < s.hier.EFetch.Depth(); l++ {
+							s.hier.PrefetchInstr(target+uint32(l*cache.LineBytes), s.clock+now)
+						}
+					}
+					s.hier.EFetch.Train(d.Addr, d.Target)
+				}
+
+				redirected := false
+				switch {
+				case d.IsCond:
+					res.CondBr++
+					if !s.bpu.PredictAndUpdate(d.Addr, d.Taken) {
+						res.Mispredicts++
+						redirectBranch = fetchIdx
+						redirected = true
+					}
+				case d.Op == isa.OpBL:
+					// Calls push the return address; BTB predicts the
+					// target (direct calls never mispredict).
+					s.bpu.Call(d.Addr + uint32(d.Size))
+				case d.Op == isa.OpBX && d.Taken:
+					// Returns predict through the RAS; a depth overflow
+					// or corruption redirects like a branch mispredict.
+					if !s.bpu.Return(d.Target) {
+						res.Mispredicts++
+						redirectBranch = fetchIdx
+						redirected = true
+					}
+				}
+				endGroup := d.IsBranch && d.Taken
+
+				fetchIdx++
+				if fetchIdx < n && rec[fetchIdx].Eligible < 0 {
+					rec[fetchIdx].Eligible = now
+				}
+				if redirected || endGroup {
+					break
+				}
+			}
+			// An instruction stalled on bandwidth/buffer becomes eligible
+			// now if it was not already.
+			if fetchIdx < n && rec[fetchIdx].Eligible < 0 {
+				rec[fetchIdx].Eligible = now
+			}
+		}
+
+		now++
+	}
+
+	s.clock += now
+	res.Cycles = now
+	res.AllDyns = int64(n)
+	res.Instrs = instrs
+	res.ICacheAccesses = s.hier.L1I.Accesses - ia0
+	res.ICacheMisses = s.hier.L1I.Misses - im0
+	res.DCacheAccesses = s.hier.L1D.Accesses - da0
+	res.DCacheMisses = s.hier.L1D.Misses - dm0
+	res.L2Accesses = s.hier.L2.Accesses - l20
+	res.DRAMAccesses = s.hier.DRAM.Accesses - dr0
+	if s.cfg.CollectRecords {
+		res.Records = rec
+	}
+	return res
+}

@@ -1,0 +1,290 @@
+package cpu
+
+import (
+	"testing"
+
+	"critics/internal/isa"
+	"critics/internal/trace"
+)
+
+// callStream builds a loop that calls one of nFuncs functions per iteration,
+// each function being a run of bodyLen sequential instructions at its own
+// address range — enough code to thrash a small i-cache.
+func callStream(n, nFuncs, bodyLen int) []trace.Dyn {
+	var dyns []trace.Dyn
+	seq := int64(0)
+	loopPC := uint32(0)
+	i := 0
+	for len(dyns) < n {
+		fn := i % nFuncs
+		i++
+		entry := uint32(0x10000 + fn*4096)
+		// Call site: one distinct BL site per callee (as in real code).
+		site := loopPC + uint32(fn*4)
+		dyns = append(dyns, trace.Dyn{
+			Seq: seq, Addr: site, Op: isa.OpBL, Class: isa.ClassCall,
+			Size: 4, IsBranch: true, Taken: true, Target: entry, Latency: 1,
+		})
+		seq++
+		for k := 0; k < bodyLen; k++ {
+			dyns = append(dyns, trace.Dyn{
+				Seq: seq, Addr: entry + uint32(k*4), Op: isa.OpADD,
+				Class: isa.ClassALU, Size: 4, Latency: 1,
+			})
+			seq++
+		}
+		// Return.
+		dyns = append(dyns, trace.Dyn{
+			Seq: seq, Addr: entry + uint32(bodyLen*4), Op: isa.OpBX,
+			Class: isa.ClassRet, Size: 4, IsBranch: true, Taken: true, Target: loopPC + 4, Latency: 1,
+		})
+		seq++
+	}
+	return dyns
+}
+
+func TestEFetchReducesColdCallMisses(t *testing.T) {
+	// Many functions, tiny i-cache: every call begins with misses unless
+	// EFetch pre-warms the predicted callee.
+	mk := func() []trace.Dyn { return callStream(30_000, 64, 32) }
+	base := DefaultConfig()
+	base.Hier.L1I.SizeBytes = 8 << 10 // force capacity misses
+
+	ef := base
+	ef.Hier.EFetchDepth = 4
+
+	s1 := New(base)
+	s1.Run(mk(), nil)
+	r1 := s1.Run(mk(), nil)
+
+	s2 := New(ef)
+	s2.Run(mk(), nil)
+	r2 := s2.Run(mk(), nil)
+
+	if r2.Cycles >= r1.Cycles {
+		t.Errorf("EFetch did not help: %d vs %d cycles", r2.Cycles, r1.Cycles)
+	}
+	if r2.ICacheMisses >= r1.ICacheMisses {
+		t.Errorf("EFetch did not cut i-cache misses: %d vs %d", r2.ICacheMisses, r1.ICacheMisses)
+	}
+}
+
+// stridedLoadStream: one load PC streaming through memory with a dependent
+// consumer, plus independent filler. The load re-occurs every `period`
+// instructions.
+func stridedLoadStream(n int, stride uint32, period int) []trace.Dyn {
+	dyns := make([]trace.Dyn, n)
+	addr := uint32(0x4000_0000)
+	for i := 0; i < n; i++ {
+		slot := i % period
+		dyns[i] = trace.Dyn{
+			Seq: int64(i), Addr: uint32(slot * 4), Op: isa.OpADD,
+			Class: isa.ClassALU, Size: 4, Latency: 1,
+		}
+		if slot == 0 {
+			dyns[i].Op = isa.OpLDR
+			dyns[i].Class = isa.ClassLoad
+			dyns[i].IsLoad = true
+			dyns[i].MemAddr = addr
+			addr += stride
+		}
+		if slot == 1 {
+			dyns[i].Prod[0] = int64(i - 1)
+			dyns[i].NProd = 1
+		}
+	}
+	return dyns
+}
+
+func TestCLPTHidesStreamingMisses(t *testing.T) {
+	mk := func() []trace.Dyn { return stridedLoadStream(30_000, 256, 16) }
+	noPf := DefaultConfig()
+	noPf.Hier.CLPTEntries = 0
+	withPf := DefaultConfig()
+
+	s1 := New(noPf)
+	r1 := s1.Run(mk(), nil)
+	s2 := New(withPf)
+	r2 := s2.Run(mk(), nil)
+	if r2.Cycles >= r1.Cycles {
+		t.Errorf("CLPT did not help streaming loads: %d vs %d", r2.Cycles, r1.Cycles)
+	}
+}
+
+func TestCriticalPrefetchBeatsCLPTAlone(t *testing.T) {
+	// The criticality-directed prefetcher additionally pulls lines into
+	// the L1, saving the L2 hit on every occurrence.
+	fan := func(dyns []trace.Dyn) []int32 {
+		f := make([]int32, len(dyns))
+		for i := range dyns {
+			if dyns[i].IsLoad {
+				f[i] = 10 // critical load
+			}
+		}
+		return f
+	}
+	// Occurrence spacing must exceed the DRAM latency for the 3-ahead
+	// commit-time prefetch to fully hide it.
+	mk := func() []trace.Dyn { return stridedLoadStream(30_000, 256, 48) }
+	clpt := DefaultConfig()
+	d1 := mk()
+	s1 := New(clpt)
+	r1 := s1.Run(d1, fan(d1))
+
+	crit := DefaultConfig()
+	crit.CriticalLoadPrefetch = true
+	d2 := mk()
+	s2 := New(crit)
+	r2 := s2.Run(d2, fan(d2))
+	if r2.Cycles >= r1.Cycles {
+		t.Errorf("critical-load prefetch added nothing over CLPT: %d vs %d", r2.Cycles, r1.Cycles)
+	}
+}
+
+func TestOverheadDynsNotCountedAsWork(t *testing.T) {
+	dyns := seqStream(100)
+	dyns[10].Overhead = true
+	dyns[20].Overhead = true
+	res := New(DefaultConfig()).Run(dyns, nil)
+	if res.Instrs != 98 {
+		t.Errorf("Instrs = %d, want 98", res.Instrs)
+	}
+	if res.AllDyns != 100 {
+		t.Errorf("AllDyns = %d", res.AllDyns)
+	}
+}
+
+func TestModeSwitchBranchesDoNotRedirect(t *testing.T) {
+	// Non-taken branch dyns (IsBranch without Taken) must not end fetch
+	// groups: a stream full of them should run as fast as plain ALUs.
+	plain := seqStream(4000)
+	switches := seqStream(4000)
+	for i := 100; i < 4000; i += 7 {
+		switches[i].Op = isa.OpB
+		switches[i].Class = isa.ClassBranch
+		switches[i].IsBranch = true
+		switches[i].Taken = false
+	}
+	rp := runWarm(t, DefaultConfig(), plain)
+	rs := runWarm(t, DefaultConfig(), switches)
+	slowdown := float64(rs.Cycles)/float64(rp.Cycles) - 1
+	if slowdown > 0.05 {
+		t.Errorf("fall-through branches cost %.1f%%; they should be near free", 100*slowdown)
+	}
+}
+
+func TestLSQBackpressure(t *testing.T) {
+	// A stream of loads with tiny LSQ must be slower than with the default.
+	n := 4000
+	mk := func() []trace.Dyn {
+		dyns := seqStream(n)
+		for i := range dyns {
+			dyns[i].Op = isa.OpLDR
+			dyns[i].Class = isa.ClassLoad
+			dyns[i].IsLoad = true
+			dyns[i].MemAddr = uint32(0x4000_0000 + (i%512)*64)
+		}
+		return dyns
+	}
+	small := DefaultConfig()
+	small.LSQSize = 2
+	rSmall := runWarm(t, small, mk())
+	rBig := runWarm(t, DefaultConfig(), mk())
+	if rSmall.Cycles <= rBig.Cycles {
+		t.Errorf("LSQ=2 (%d cycles) not slower than LSQ=32 (%d)", rSmall.Cycles, rBig.Cycles)
+	}
+}
+
+func TestROBLimitsMemoryParallelism(t *testing.T) {
+	// Independent DRAM-missing loads: a larger ROB should overlap more of
+	// them (or at least never be slower).
+	n := 3000
+	mk := func() []trace.Dyn {
+		dyns := seqStream(n)
+		for i := 0; i < n; i += 8 {
+			dyns[i].Op = isa.OpLDR
+			dyns[i].Class = isa.ClassLoad
+			dyns[i].IsLoad = true
+			dyns[i].MemAddr = uint32(0x4000_0000 + i*4096)
+		}
+		return dyns
+	}
+	tiny := DefaultConfig()
+	tiny.ROBSize = 16
+	rTiny := New(tiny).Run(mk(), nil)
+	rBig := New(DefaultConfig()).Run(mk(), nil)
+	if rTiny.Cycles <= rBig.Cycles {
+		t.Errorf("ROB=16 (%d) not slower than ROB=128 (%d)", rTiny.Cycles, rBig.Cycles)
+	}
+}
+
+func TestClockPersistsAcrossRuns(t *testing.T) {
+	s := New(DefaultConfig())
+	r1 := s.Run(seqStream(500), nil)
+	r2 := s.Run(seqStream(500), nil)
+	// Warm second run must not be slower than the cold first.
+	if r2.Cycles > r1.Cycles {
+		t.Errorf("warm run slower: %d vs %d", r2.Cycles, r1.Cycles)
+	}
+	if r2.ICacheMisses >= r1.ICacheMisses {
+		t.Errorf("no warmup effect on i-cache: %d vs %d misses", r2.ICacheMisses, r1.ICacheMisses)
+	}
+}
+
+func TestEventDeltasPerRun(t *testing.T) {
+	s := New(DefaultConfig())
+	r1 := s.Run(seqStream(1000), nil)
+	r2 := s.Run(seqStream(1000), nil)
+	// Deltas, not cumulative: the second run's access count must be about
+	// the same as the first (same instruction count), not double.
+	if r2.ICacheAccesses > r1.ICacheAccesses*3/2 {
+		t.Errorf("access counts look cumulative: %d then %d", r1.ICacheAccesses, r2.ICacheAccesses)
+	}
+}
+
+func TestBackendPrioTwoPassIssuesCriticalFirst(t *testing.T) {
+	// Smoke test: BackendPrio with trained criticality must not deadlock
+	// or change architectural work.
+	dyns := seqStream(5000)
+	fan := make([]int32, len(dyns))
+	for i := 0; i < len(fan); i += 3 {
+		fan[i] = 10
+	}
+	cfg := DefaultConfig()
+	cfg.BackendPrio = true
+	res := New(cfg).Run(dyns, fan)
+	if res.Instrs != 5000 {
+		t.Errorf("Instrs = %d", res.Instrs)
+	}
+}
+
+// Property: for every instruction, the per-stage breakdown accounts exactly
+// for its end-to-end residency (no cycles lost or double counted beyond the
+// defined 1-cycle stage transits).
+func TestBreakdownAccountsResidency(t *testing.T) {
+	dyns := seqStream(2000)
+	// Mix in loads, branches and dependencies.
+	for i := 50; i < 2000; i += 31 {
+		dyns[i].Op = isa.OpLDR
+		dyns[i].Class = isa.ClassLoad
+		dyns[i].IsLoad = true
+		dyns[i].MemAddr = uint32(0x4000_0000 + i*256)
+		if i+1 < 2000 {
+			dyns[i+1].Prod[0] = int64(i)
+			dyns[i+1].NProd = 1
+		}
+	}
+	res := run(t, DefaultConfig(), dyns)
+	for i := range res.Records {
+		r := &res.Records[i]
+		b := BreakdownOf(r)
+		residency := r.Committed - r.Eligible
+		// Each of the four stage transitions (fetch->decode,
+		// decode->rename, rename->issue, issue handled inside Execute)
+		// consumes at most one un-attributed transit cycle.
+		slack := residency - b.Total()
+		if slack < 0 || slack > 3 {
+			t.Fatalf("instr %d: residency %d vs breakdown %d (+%d transit)", i, residency, b.Total(), slack)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package cpu
+
+import (
+	"testing"
+
+	"critics/internal/isa"
+	"critics/internal/trace"
+)
+
+// seqStream builds n independent 4-byte ALU instructions at sequential
+// addresses.
+func seqStream(n int) []trace.Dyn {
+	dyns := make([]trace.Dyn, n)
+	for i := 0; i < n; i++ {
+		dyns[i] = trace.Dyn{
+			Seq:     int64(i),
+			Addr:    uint32(i * 4),
+			Op:      isa.OpADD,
+			Class:   isa.ClassALU,
+			Size:    4,
+			Latency: 1,
+		}
+	}
+	return dyns
+}
+
+func run(t *testing.T, cfg Config, dyns []trace.Dyn) Result {
+	t.Helper()
+	cfg.CollectRecords = true
+	s := New(cfg)
+	res := s.Run(dyns, nil)
+	if res.AllDyns != int64(len(dyns)) {
+		t.Fatalf("AllDyns = %d, want %d", res.AllDyns, len(dyns))
+	}
+	return res
+}
+
+// runWarm simulates the window twice on one simulator instance and returns
+// the second (warm-cache) result — the straight-line synthetic streams in
+// these tests would otherwise be dominated by compulsory i-cache misses.
+func runWarm(t *testing.T, cfg Config, dyns []trace.Dyn) Result {
+	t.Helper()
+	cfg.CollectRecords = true
+	s := New(cfg)
+	s.Run(dyns, nil)
+	return s.Run(dyns, nil)
+}
+
+func TestIndependentALUBoundByFetch(t *testing.T) {
+	// A32 code at 8 bytes/cycle feeds 2 instructions/cycle: IPC ~2 even
+	// though the back end is 4-wide.
+	res := runWarm(t, DefaultConfig(), seqStream(4000))
+	ipc := res.IPC()
+	if ipc < 1.6 || ipc > 2.2 {
+		t.Errorf("A32 independent IPC = %.2f, want ~2 (fetch-limited)", ipc)
+	}
+}
+
+func TestThumbDoublesFetchBandwidth(t *testing.T) {
+	a32 := seqStream(4000)
+	t16 := make([]trace.Dyn, len(a32))
+	copy(t16, a32)
+	for i := range t16 {
+		t16[i].Size = 2
+		t16[i].Thumb = true
+		t16[i].Addr = uint32(i * 2)
+	}
+	cfg := DefaultConfig()
+	cfg.IntALUs = 4 // isolate the front end: the test stream is pure ALU
+	rA := runWarm(t, cfg, a32)
+	rT := runWarm(t, cfg, t16)
+	if rT.Cycles >= rA.Cycles {
+		t.Fatalf("thumb stream (%d cycles) not faster than A32 (%d)", rT.Cycles, rA.Cycles)
+	}
+	speedup := float64(rA.Cycles) / float64(rT.Cycles)
+	if speedup < 1.5 {
+		t.Errorf("thumb speedup %.2f; fetch bandwidth should nearly double throughput", speedup)
+	}
+	ipc := rT.IPC()
+	if ipc < 3.2 {
+		t.Errorf("thumb IPC %.2f, want ~4 (decode-limited)", ipc)
+	}
+}
+
+func TestSerialChainBoundByLatency(t *testing.T) {
+	n := 2000
+	dyns := seqStream(n)
+	for i := 1; i < n; i++ {
+		dyns[i].Prod[0] = int64(i - 1)
+		dyns[i].NProd = 1
+	}
+	res := run(t, DefaultConfig(), dyns)
+	// Fully serial single-cycle ops: ~1 instruction per cycle at best.
+	if res.IPC() > 1.05 {
+		t.Errorf("serial chain IPC %.2f > 1", res.IPC())
+	}
+	if res.IPC() < 0.4 {
+		t.Errorf("serial chain IPC %.2f implausibly low", res.IPC())
+	}
+}
+
+func TestRecordsMonotonic(t *testing.T) {
+	dyns := seqStream(500)
+	// Add some dependencies and a load.
+	dyns[100].Op = isa.OpLDR
+	dyns[100].Class = isa.ClassLoad
+	dyns[100].IsLoad = true
+	dyns[100].MemAddr = 0x4000_0000
+	dyns[101].Prod[0] = 100
+	dyns[101].NProd = 1
+	res := run(t, DefaultConfig(), dyns)
+	for i, r := range res.Records {
+		seqs := []int64{r.Eligible, r.Fetched, r.DecodeDone, r.Dispatched, r.Issued, r.Done, r.Committed}
+		for k := 1; k < len(seqs); k++ {
+			if seqs[k] < 0 {
+				t.Fatalf("instr %d: stage %d unreached: %+v", i, k, r)
+			}
+			if seqs[k] < seqs[k-1] {
+				t.Fatalf("instr %d: timestamps not monotonic: %+v", i, r)
+			}
+		}
+	}
+}
+
+func TestMispredictsCostCycles(t *testing.T) {
+	n := 2000
+	mk := func(pattern func(i int) bool) []trace.Dyn {
+		dyns := seqStream(n)
+		for i := 50; i < n; i += 50 {
+			dyns[i].Op = isa.OpB
+			dyns[i].Class = isa.ClassBranch
+			dyns[i].IsBranch = true
+			dyns[i].IsCond = true
+			dyns[i].Taken = pattern(i)
+			dyns[i].Target = dyns[i+1].Addr
+		}
+		return dyns
+	}
+	// Biased branches: predictable.
+	rGood := run(t, DefaultConfig(), mk(func(i int) bool { return true }))
+	// Pseudo-random: unpredictable.
+	state := uint32(12345)
+	rBad := run(t, DefaultConfig(), mk(func(i int) bool {
+		state = state*1664525 + 1013904223
+		return state&4 != 0
+	}))
+	if rBad.Mispredicts <= rGood.Mispredicts {
+		t.Fatalf("mispredicts: random %d <= biased %d", rBad.Mispredicts, rGood.Mispredicts)
+	}
+	if rBad.Cycles <= rGood.Cycles {
+		t.Errorf("random-branch stream (%d cycles) not slower than biased (%d)", rBad.Cycles, rGood.Cycles)
+	}
+}
+
+func TestPerfectBrRemovesMispredicts(t *testing.T) {
+	n := 1000
+	dyns := seqStream(n)
+	state := uint32(7)
+	for i := 20; i < n; i += 20 {
+		dyns[i].Op = isa.OpB
+		dyns[i].Class = isa.ClassBranch
+		dyns[i].IsBranch = true
+		dyns[i].IsCond = true
+		state = state*1664525 + 1013904223
+		dyns[i].Taken = state&8 != 0
+	}
+	cfg := DefaultConfig()
+	cfg.BPU.Perfect = true
+	res := run(t, cfg, dyns)
+	if res.Mispredicts != 0 {
+		t.Errorf("perfect BPU mispredicted %d times", res.Mispredicts)
+	}
+}
+
+func TestColdLoadsStallBackend(t *testing.T) {
+	// Loads striding through a huge region: L2/DRAM misses dominate; with
+	// every load feeding a dependent op, commit stalls behind memory.
+	n := 3000
+	dyns := seqStream(n)
+	for i := 0; i < n; i += 4 {
+		dyns[i].Op = isa.OpLDR
+		dyns[i].Class = isa.ClassLoad
+		dyns[i].IsLoad = true
+		dyns[i].MemAddr = uint32(0x4000_0000 + i*4096) // new row+line every time
+		dyns[i+1].Prod[0] = int64(i)
+		dyns[i+1].NProd = 1
+	}
+	hot := seqStream(n)
+	for i := 0; i < n; i += 4 {
+		hot[i].Op = isa.OpLDR
+		hot[i].Class = isa.ClassLoad
+		hot[i].IsLoad = true
+		hot[i].MemAddr = uint32(0x4000_0000 + (i%64)*64)
+		hot[i+1].Prod[0] = int64(i)
+		hot[i+1].NProd = 1
+	}
+	rCold := run(t, DefaultConfig(), dyns)
+	rHot := run(t, DefaultConfig(), hot)
+	if rCold.Cycles < rHot.Cycles*2 {
+		t.Errorf("cold loads (%d cycles) not much slower than hot (%d)", rCold.Cycles, rHot.Cycles)
+	}
+}
+
+func TestCriticalLoadPrefetchHelpsRepeatedColdLoads(t *testing.T) {
+	// A loop body re-executing the same high-fanout load PC with a
+	// regular stride: once the table marks it critical, fetch-time
+	// prefetch hides most of the memory latency.
+	n := 8000
+	mk := func() ([]trace.Dyn, []int32) {
+		dyns := make([]trace.Dyn, n)
+		fan := make([]int32, n)
+		addr := uint32(0x4800_0000)
+		for i := 0; i < n; i++ {
+			pcSlot := i % 8
+			dyns[i] = trace.Dyn{
+				Seq:     int64(i),
+				Addr:    uint32(pcSlot * 4), // loop: same 8 PCs repeat
+				Op:      isa.OpADD,
+				Class:   isa.ClassALU,
+				Size:    4,
+				Latency: 1,
+			}
+			if pcSlot == 0 {
+				dyns[i].Op = isa.OpLDR
+				dyns[i].Class = isa.ClassLoad
+				dyns[i].IsLoad = true
+				dyns[i].MemAddr = addr
+				addr += 4096
+				fan[i] = 10
+			} else {
+				dyns[i].Prod[0] = int64(i - pcSlot) // consume the load
+				dyns[i].NProd = 1
+			}
+		}
+		return dyns, fan
+	}
+	base := DefaultConfig()
+	base.CollectRecords = false
+	d1, f1 := mk()
+	rOff := New(base).Run(d1, f1)
+
+	pf := base
+	pf.CriticalLoadPrefetch = true
+	d2, f2 := mk()
+	rOn := New(pf).Run(d2, f2)
+	if rOn.Cycles >= rOff.Cycles {
+		t.Errorf("critical-load prefetch did not help: %d vs %d cycles", rOn.Cycles, rOff.Cycles)
+	}
+}
+
+func TestCDPDecodeBubble(t *testing.T) {
+	mk := func(withCDP bool) []trace.Dyn {
+		var dyns []trace.Dyn
+		addr := uint32(0)
+		seq := int64(0)
+		for g := 0; g < 200; g++ {
+			if withCDP {
+				dyns = append(dyns, trace.Dyn{Seq: seq, Addr: addr, Op: isa.OpCDP, Class: isa.ClassCDP, Size: 2, Thumb: true, IsCDP: true, CDPCount: 4, Latency: 1})
+				seq++
+				addr += 2
+			}
+			for k := 0; k < 4; k++ {
+				d := trace.Dyn{Seq: seq, Addr: addr, Op: isa.OpADD, Class: isa.ClassALU, Latency: 1}
+				if withCDP {
+					d.Size = 2
+					d.Thumb = true
+					addr += 2
+				} else {
+					d.Size = 4
+					addr += 4
+				}
+				dyns = append(dyns, d)
+				seq++
+			}
+		}
+		return dyns
+	}
+	cfgBubble := DefaultConfig()
+	cfgNoBubble := DefaultConfig()
+	cfgNoBubble.CDPExtraDecodeCycle = false
+	rBubble := runWarm(t, cfgBubble, mk(true))
+	rNoBubble := runWarm(t, cfgNoBubble, mk(true))
+	if rBubble.Cycles <= rNoBubble.Cycles {
+		t.Errorf("CDP bubble did not cost cycles: %d vs %d", rBubble.Cycles, rNoBubble.Cycles)
+	}
+	// CDPs are not architectural instructions.
+	if rBubble.Instrs != 800 {
+		t.Errorf("Instrs = %d, want 800 (CDPs excluded)", rBubble.Instrs)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	dyns := seqStream(3000)
+	r1 := New(DefaultConfig()).Run(dyns, nil)
+	r2 := New(DefaultConfig()).Run(dyns, nil)
+	if r1.Cycles != r2.Cycles || r1.Mispredicts != r2.Mispredicts {
+		t.Error("simulation is not deterministic")
+	}
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	dyns := seqStream(1000)
+	res := run(t, DefaultConfig(), dyns)
+	var total Breakdown
+	for i := range res.Records {
+		b := BreakdownOf(&res.Records[i])
+		total.Add(b)
+	}
+	// Fetch-limited stream: F.StallForI must dominate the waiting.
+	if total.FetchI == 0 {
+		t.Error("no F.StallForI recorded for a bandwidth-limited stream")
+	}
+	if total.Total() < 0 {
+		t.Error("negative breakdown")
+	}
+}
+
+func TestBigFrontEndRemovesFetchLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FetchBytes = 16
+	cfg.FetchWidth = 8
+	cfg.DecodeWidth = 8
+	cfg.IntALUs = 4 // isolate the front end: the test stream is pure ALU
+	res := runWarm(t, cfg, seqStream(4000))
+	if res.IPC() < 3.2 {
+		t.Errorf("2xFD IPC = %.2f, want ~4 (backend-limited)", res.IPC())
+	}
+}

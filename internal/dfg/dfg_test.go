@@ -1,0 +1,297 @@
+package dfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"critics/internal/prog"
+	"critics/internal/trace"
+)
+
+// mk builds a dynamic instruction at seq with the given producers.
+func mk(seq int64, prods ...int64) trace.Dyn {
+	d := trace.Dyn{Seq: seq}
+	for _, p := range prods {
+		d.Prod[d.NProd] = p
+		d.NProd++
+	}
+	return d
+}
+
+func TestFanouts(t *testing.T) {
+	// 0 feeds 1, 2, 3; 1 feeds 3.
+	dyns := []trace.Dyn{
+		mk(0),
+		mk(1, 0),
+		mk(2, 0),
+		mk(3, 0, 1),
+	}
+	fan := Fanouts(dyns, 128)
+	want := []int32{3, 1, 0, 0}
+	for i := range want {
+		if fan[i] != want[i] {
+			t.Errorf("fan[%d] = %d, want %d", i, fan[i], want[i])
+		}
+	}
+}
+
+func TestFanoutsWindowCutoff(t *testing.T) {
+	dyns := make([]trace.Dyn, 10)
+	dyns[0] = mk(0)
+	for i := 1; i < 10; i++ {
+		dyns[i] = mk(int64(i), 0) // everyone consumes 0
+	}
+	fan := Fanouts(dyns, 3)
+	if fan[0] != 3 {
+		t.Errorf("windowed fanout = %d, want 3 (consumers at distance <= 3)", fan[0])
+	}
+	fan = Fanouts(dyns, 128)
+	if fan[0] != 9 {
+		t.Errorf("full fanout = %d, want 9", fan[0])
+	}
+}
+
+func TestFanoutsNonLocalProducer(t *testing.T) {
+	// Producers before the slice (negative relative index) are ignored.
+	dyns := []trace.Dyn{mk(100, 5), mk(101, 100)}
+	fan := Fanouts(dyns, 128)
+	if fan[0] != 1 || fan[1] != 0 {
+		t.Errorf("fan = %v", fan)
+	}
+}
+
+func TestExtractLinearChain(t *testing.T) {
+	dyns := []trace.Dyn{
+		mk(0),
+		mk(1, 0),
+		mk(2, 1),
+		mk(3, 2),
+	}
+	chains := Extract(dyns, Options{ChunkSize: 16, FanoutWindow: 16, MinLen: 2})
+	if len(chains) != 1 {
+		t.Fatalf("got %d chains, want 1", len(chains))
+	}
+	c := chains[0]
+	if c.Len() != 4 {
+		t.Fatalf("chain length %d, want 4", c.Len())
+	}
+	for i, m := range c.Members {
+		if m != int32(i) {
+			t.Fatalf("members = %v", c.Members)
+		}
+	}
+	// Fanouts: 1,1,1,0 -> avg 0.75.
+	if got := c.AvgFanout(); got != 0.75 {
+		t.Errorf("AvgFanout = %f", got)
+	}
+	if c.Spread() != 4 {
+		t.Errorf("Spread = %d", c.Spread())
+	}
+}
+
+func TestExtractDiamondExcludesJoin(t *testing.T) {
+	// 0 -> 1, 0 -> 2, (1,2) -> 3: the join node 3 has two in-flight
+	// producers, so it cannot be a chain member past the head.
+	dyns := []trace.Dyn{
+		mk(0),
+		mk(1, 0),
+		mk(2, 0),
+		mk(3, 1, 2),
+	}
+	chains := Extract(dyns, Options{ChunkSize: 16, FanoutWindow: 16, MinLen: 2})
+	for _, c := range chains {
+		for i, m := range c.Members {
+			if m == 3 && i > 0 {
+				t.Fatalf("join node entered a chain as non-head: %v", c.Members)
+			}
+		}
+	}
+	// The head 0 extends along exactly one of 1 or 2.
+	if len(chains) != 1 || chains[0].Len() != 2 {
+		t.Fatalf("chains = %+v", chains)
+	}
+}
+
+func TestExtractGreedyPrefersHighFanout(t *testing.T) {
+	// 0 feeds 1 and 2. 2 then feeds 3,4,5 (high fanout); 1 feeds nothing.
+	dyns := []trace.Dyn{
+		mk(0),
+		mk(1, 0),
+		mk(2, 0),
+		mk(3, 2),
+		mk(4, 2),
+		mk(5, 2),
+	}
+	chains := Extract(dyns, Options{ChunkSize: 16, FanoutWindow: 16, MinLen: 2})
+	if len(chains) == 0 {
+		t.Fatal("no chains")
+	}
+	c := chains[0]
+	if c.Members[0] != 0 || c.Members[1] != 2 {
+		t.Fatalf("greedy extension picked %v, want head 0 -> 2", c.Members)
+	}
+}
+
+func TestExtractMaxLen(t *testing.T) {
+	dyns := make([]trace.Dyn, 10)
+	dyns[0] = mk(0)
+	for i := 1; i < 10; i++ {
+		dyns[i] = mk(int64(i), int64(i-1))
+	}
+	chains := Extract(dyns, Options{ChunkSize: 16, FanoutWindow: 16, MinLen: 2, MaxLen: 5})
+	if len(chains) == 0 {
+		t.Fatal("no chains")
+	}
+	for _, c := range chains {
+		if c.Len() > 5 {
+			t.Errorf("chain length %d exceeds MaxLen", c.Len())
+		}
+	}
+}
+
+func TestExtractSameBlock(t *testing.T) {
+	// A 3-instruction dependence chain crossing a block boundary between
+	// index 1 and 2.
+	dyns := []trace.Dyn{
+		{Seq: 0, ID: prog.InstID{Func: 0, Block: 0, Index: 0}},
+		{Seq: 1, ID: prog.InstID{Func: 0, Block: 0, Index: 1}},
+		{Seq: 2, ID: prog.InstID{Func: 0, Block: 1, Index: 0}},
+	}
+	dyns[1].Prod[0] = 0
+	dyns[1].NProd = 1
+	dyns[2].Prod[0] = 1
+	dyns[2].NProd = 1
+
+	unrestricted := Extract(dyns, Options{ChunkSize: 16, FanoutWindow: 16, MinLen: 2})
+	if len(unrestricted) != 1 || unrestricted[0].Len() != 3 {
+		t.Fatalf("unrestricted chains = %+v", unrestricted)
+	}
+	restricted := Extract(dyns, Options{ChunkSize: 16, FanoutWindow: 16, MinLen: 2, SameBlock: true})
+	if len(restricted) != 1 || restricted[0].Len() != 2 {
+		t.Fatalf("same-block chains = %+v", restricted)
+	}
+}
+
+func TestSameBlockInstanceDetectsReexecution(t *testing.T) {
+	// Same static block, but a second execution instance (seq gap differs
+	// from index gap): must not merge.
+	a := trace.Dyn{Seq: 0, ID: prog.InstID{Func: 0, Block: 0, Index: 0}}
+	b := trace.Dyn{Seq: 5, ID: prog.InstID{Func: 0, Block: 0, Index: 1}}
+	if sameBlockInstance(&a, &b) {
+		t.Error("different block instances merged")
+	}
+	c := trace.Dyn{Seq: 1, ID: prog.InstID{Func: 0, Block: 0, Index: 1}}
+	if !sameBlockInstance(&a, &c) {
+		t.Error("same block instance rejected")
+	}
+}
+
+func TestHighFanoutGaps(t *testing.T) {
+	// Chain with member fanouts [10, 1, 1, 10, 1]: one gap of 2 between
+	// the high-fanout members, and the trailing high has no successor.
+	fan := []int32{10, 1, 1, 10, 1}
+	chains := []Chain{{Members: []int32{0, 1, 2, 3, 4}}}
+	res := HighFanoutGaps(chains, fan, 8, 10)
+	if res.Gaps.Total != 1 || res.Gaps.Counts[2] != 1 {
+		t.Errorf("gaps histogram: %+v", res.Gaps)
+	}
+	if res.None != 1 {
+		t.Errorf("None = %d, want 1", res.None)
+	}
+	if got := res.FracNone(); got != 0.5 {
+		t.Errorf("FracNone = %f", got)
+	}
+}
+
+func TestHighFanoutGapsDirectDependence(t *testing.T) {
+	fan := []int32{9, 12, 1}
+	chains := []Chain{{Members: []int32{0, 1, 2}}}
+	res := HighFanoutGaps(chains, fan, 8, 10)
+	if res.Gaps.Counts[0] != 1 {
+		t.Errorf("direct dependence not bucketed at 0: %+v", res.Gaps)
+	}
+}
+
+func TestCriticalFraction(t *testing.T) {
+	fan := []int32{10, 1, 8, 3}
+	if got := CriticalFraction(fan, 8); got != 0.5 {
+		t.Errorf("CriticalFraction = %f", got)
+	}
+	if got := CriticalFraction(nil, 8); got != 0 {
+		t.Errorf("empty CriticalFraction = %f", got)
+	}
+}
+
+func TestMeasureLengthSpread(t *testing.T) {
+	chains := []Chain{
+		{Members: []int32{0, 1, 2}},
+		{Members: []int32{10, 50}},
+	}
+	ls := MeasureLengthSpread(chains)
+	if ls.MaxLen != 3 || ls.MaxSpread != 41 {
+		t.Errorf("LengthSpread = %+v", ls)
+	}
+	if ls.MeanLen != 2.5 {
+		t.Errorf("MeanLen = %f", ls.MeanLen)
+	}
+}
+
+// Property test: over random streams, every extracted chain satisfies the IC
+// invariants — strictly increasing members, disjointness, and each non-head
+// member has exactly one in-chunk producer, which is the previous member.
+func TestExtractInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 200
+		dyns := make([]trace.Dyn, n)
+		for i := 0; i < n; i++ {
+			dyns[i] = trace.Dyn{Seq: int64(i)}
+			np := r.Intn(3)
+			for k := 0; k < np && i > 0; k++ {
+				back := 1 + r.Intn(min(i, 20))
+				dyns[i].Prod[dyns[i].NProd] = int64(i - back)
+				dyns[i].NProd++
+			}
+		}
+		opt := Options{ChunkSize: 64, FanoutWindow: 64, MinLen: 2}
+		chains := Extract(dyns, opt)
+		seen := make(map[int32]bool)
+		for _, c := range chains {
+			if c.Len() < 2 {
+				t.Fatalf("chain below MinLen: %+v", c)
+			}
+			for i, m := range c.Members {
+				if seen[m] {
+					t.Fatalf("member %d in two chains", m)
+				}
+				seen[m] = true
+				if i > 0 && c.Members[i-1] >= m {
+					t.Fatalf("members not increasing: %v", c.Members)
+				}
+			}
+			// Each non-head member's only in-chunk producer must be
+			// the previous member.
+			for i := 1; i < len(c.Members); i++ {
+				m := c.Members[i]
+				chunkStart := (int(m) / opt.ChunkSize) * opt.ChunkSize
+				prods := map[int64]bool{}
+				d := dyns[m]
+				for k := uint8(0); k < d.NProd; k++ {
+					if d.Prod[k] >= int64(chunkStart) {
+						prods[d.Prod[k]] = true
+					}
+				}
+				if len(prods) != 1 || !prods[int64(c.Members[i-1])] {
+					t.Fatalf("member %d has in-chunk producers %v, want exactly {%d}", m, prods, c.Members[i-1])
+				}
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+// Package dram models the 2GB LPDDR3 main memory of the baseline platform
+// (Table I: 1 channel, 2 ranks per channel, 8 banks per rank, open-page
+// policy, tCL = tRP = tRCD = 13ns), the role DRAMSim2 played in the paper's
+// GEM5 setup.
+//
+// The model is a bank-state timing model: each bank tracks its open row and
+// the cycle it next becomes free. An access pays CAS latency on a row hit,
+// RCD+CAS on a row miss with the bank precharged, and RP+RCD+CAS on a row
+// conflict — plus queueing behind earlier requests to the same bank. That is
+// enough to make poor-locality SPEC-style access streams pay realistic,
+// contention-dependent latencies while row-friendly strided streams stay
+// cheap.
+package dram
+
+// Config describes the DRAM geometry and timing in CPU cycles.
+type Config struct {
+	Channels     int
+	RanksPerChan int
+	BanksPerRank int
+	RowBytes     uint32
+
+	TCL  int64 // CAS latency
+	TRP  int64 // precharge
+	TRCD int64 // activate
+
+	Transfer int64 // data burst transfer time
+	CtrlLat  int64 // fixed controller/queueing overhead
+}
+
+// DefaultConfig converts Table I's 13ns timings at the 1.5GHz CPU clock
+// (13ns * 1.5GHz = ~20 cycles).
+func DefaultConfig() Config {
+	return Config{
+		Channels:     1,
+		RanksPerChan: 2,
+		BanksPerRank: 8,
+		RowBytes:     4096,
+		TCL:          20,
+		TRP:          20,
+		TRCD:         20,
+		Transfer:     4,
+		CtrlLat:      6,
+	}
+}
+
+type bank struct {
+	openRow  int64
+	hasOpen  bool
+	freeAt   int64
+	accesses int64
+	rowHits  int64
+}
+
+// Controller is the DRAM timing model.
+type Controller struct {
+	cfg   Config
+	banks []bank
+
+	// Stats.
+	Accesses int64
+	RowHits  int64
+}
+
+// New creates a controller.
+func New(cfg Config) *Controller {
+	n := cfg.Channels * cfg.RanksPerChan * cfg.BanksPerRank
+	if n <= 0 {
+		n = 16
+	}
+	return &Controller{cfg: cfg, banks: make([]bank, n)}
+}
+
+// Access issues a request for addr at cycle now and returns the completion
+// cycle.
+func (c *Controller) Access(addr uint32, now int64) int64 {
+	c.Accesses++
+	row := int64(addr / c.cfg.RowBytes)
+	b := &c.banks[int(row)%len(c.banks)]
+	b.accesses++
+
+	start := now + c.cfg.CtrlLat
+	if b.freeAt > start {
+		start = b.freeAt
+	}
+	var lat int64
+	switch {
+	case b.hasOpen && b.openRow == row:
+		lat = c.cfg.TCL
+		b.rowHits++
+		c.RowHits++
+	case !b.hasOpen:
+		lat = c.cfg.TRCD + c.cfg.TCL
+	default:
+		lat = c.cfg.TRP + c.cfg.TRCD + c.cfg.TCL
+	}
+	done := start + lat + c.cfg.Transfer
+	b.openRow = row
+	b.hasOpen = true
+	b.freeAt = done
+	return done
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (c *Controller) RowHitRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.RowHits) / float64(c.Accesses)
+}

@@ -1,0 +1,355 @@
+// Package emu is a value-level architectural emulator for the ISA: it
+// executes instructions over concrete register values, condition flags and a
+// sparse memory. Its purpose in this repository is verification — it is the
+// semantic oracle that proves the compiler passes preserve program meaning:
+//
+//   - block equivalence: executing a basic block's original instruction
+//     sequence and its transformed sequence (hoisted/Thumb-converted, with
+//     CDP and mode-switch markers skipped) from the same initial state must
+//     produce the same final registers, flags and memory;
+//   - encoding equivalence: an instruction and its decode(encode(·)) image
+//     must execute identically.
+//
+// The timing simulator (internal/cpu) deliberately does not track values;
+// this package closes that gap for correctness arguments, mirroring how the
+// paper's compiler pass is "functionality preserving" by construction.
+package emu
+
+import (
+	"fmt"
+
+	"critics/internal/isa"
+	"critics/internal/prog"
+)
+
+// State is one machine state: 16 registers, NZCV-style flags (we model the
+// comparison result abstractly as a signed value), and sparse word memory.
+type State struct {
+	Regs [16]uint32
+	// CmpVal is the last comparison result (lhs - rhs as signed), from
+	// which predicates derive; Valid says whether flags are defined.
+	CmpVal   int64
+	CmpValid bool
+	Mem      map[uint32]uint32
+}
+
+// NewState returns a zeroed state with an empty memory.
+func NewState() *State {
+	return &State{Mem: make(map[uint32]uint32)}
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	c := *s
+	c.Mem = make(map[uint32]uint32, len(s.Mem))
+	for k, v := range s.Mem {
+		c.Mem[k] = v
+	}
+	return &c
+}
+
+// Equal reports deep equality of two states. Memory cells holding zero are
+// treated as absent.
+func (s *State) Equal(o *State) bool {
+	if s.Regs != o.Regs {
+		return false
+	}
+	if s.CmpValid != o.CmpValid || (s.CmpValid && s.CmpVal != o.CmpVal) {
+		return false
+	}
+	for k, v := range s.Mem {
+		if v != 0 && o.Mem[k] != v {
+			return false
+		}
+	}
+	for k, v := range o.Mem {
+		if v != 0 && s.Mem[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable first difference, or "".
+func (s *State) Diff(o *State) string {
+	for r := 0; r < 16; r++ {
+		if s.Regs[r] != o.Regs[r] {
+			return fmt.Sprintf("r%d: %#x vs %#x", r, s.Regs[r], o.Regs[r])
+		}
+	}
+	if s.CmpValid != o.CmpValid || (s.CmpValid && s.CmpVal != o.CmpVal) {
+		return fmt.Sprintf("flags: (%v,%d) vs (%v,%d)", s.CmpValid, s.CmpVal, o.CmpValid, o.CmpVal)
+	}
+	for k, v := range s.Mem {
+		if o.Mem[k] != v && v != 0 {
+			return fmt.Sprintf("mem[%#x]: %#x vs %#x", k, v, o.Mem[k])
+		}
+	}
+	for k, v := range o.Mem {
+		if s.Mem[k] != v && v != 0 {
+			return fmt.Sprintf("mem[%#x]: %#x vs %#x", k, s.Mem[k], v)
+		}
+	}
+	return ""
+}
+
+// predTrue evaluates a condition against the flags. Undefined flags make
+// every predicate false (conservative; generators always emit a CMP before
+// predicated code in the same block when it matters).
+func (s *State) predTrue(c isa.Cond) bool {
+	if c == isa.CondAL {
+		return true
+	}
+	if !s.CmpValid {
+		return false
+	}
+	v := s.CmpVal
+	switch c {
+	case isa.CondEQ:
+		return v == 0
+	case isa.CondNE:
+		return v != 0
+	case isa.CondGE:
+		return v >= 0
+	case isa.CondLT:
+		return v < 0
+	case isa.CondGT:
+		return v > 0
+	case isa.CondLE:
+		return v <= 0
+	case isa.CondCS:
+		return uint64(v) >= 0 // carry-set approximation on the abstract flags
+	case isa.CondCC:
+		return uint64(v) < 0
+	default:
+		return false
+	}
+}
+
+func (s *State) reg(r isa.Reg) uint32 {
+	if r == isa.NoReg || r >= 16 {
+		return 0
+	}
+	return s.Regs[r]
+}
+
+func (s *State) setReg(r isa.Reg, v uint32) {
+	if r == isa.NoReg || r >= 16 {
+		return
+	}
+	s.Regs[r] = v
+}
+
+// operand2 resolves the second operand (immediate or Rm).
+func operand2(s *State, in *isa.Inst) uint32 {
+	if in.HasImm {
+		return uint32(in.Imm)
+	}
+	return s.reg(in.Rm)
+}
+
+// memAddr computes the effective address of a memory instruction. memBias
+// disambiguates data regions: the static IR guarantees different regions
+// never alias (prog.ReorderLegal relies on it), so the emulator maps each
+// region into its own address window.
+func memAddr(s *State, in *isa.Inst, memBias uint32) uint32 {
+	addr := s.reg(in.Rn) + memBias
+	if in.HasImm {
+		addr += uint32(in.Imm)
+	}
+	return addr &^ 3 // word-aligned memory model
+}
+
+// Exec executes one instruction (no control flow: branches, calls and
+// returns are no-ops at this level — block equivalence checking only needs
+// dataflow semantics). memBias is the data-region address offset for memory
+// operations (0 for plain isa-level execution). Returns an error for
+// unknown opcodes.
+func Exec(s *State, in *isa.Inst, memBias uint32) error {
+	if in.ReadsCC() && !s.predTrue(in.Cond) {
+		return nil // predicated out
+	}
+	switch in.Op {
+	case isa.OpNOP, isa.OpCDP, isa.OpSVC:
+		// No architectural effect at this level.
+	case isa.OpB, isa.OpBL, isa.OpBX:
+		// Control flow handled by the trace/CFG layer.
+	case isa.OpADD:
+		s.setReg(in.Rd, s.reg(in.Rn)+operand2(s, in))
+	case isa.OpSUB:
+		s.setReg(in.Rd, s.reg(in.Rn)-operand2(s, in))
+	case isa.OpRSB:
+		s.setReg(in.Rd, operand2(s, in)-s.reg(in.Rn))
+	case isa.OpAND:
+		s.setReg(in.Rd, s.reg(in.Rn)&operand2(s, in))
+	case isa.OpORR:
+		s.setReg(in.Rd, s.reg(in.Rn)|operand2(s, in))
+	case isa.OpEOR:
+		s.setReg(in.Rd, s.reg(in.Rn)^operand2(s, in))
+	case isa.OpBIC:
+		s.setReg(in.Rd, s.reg(in.Rn)&^operand2(s, in))
+	case isa.OpMOV:
+		if in.HasImm {
+			s.setReg(in.Rd, uint32(in.Imm))
+		} else {
+			s.setReg(in.Rd, s.reg(in.Rn))
+		}
+	case isa.OpMVN:
+		if in.HasImm {
+			s.setReg(in.Rd, ^uint32(in.Imm))
+		} else {
+			s.setReg(in.Rd, ^s.reg(in.Rn))
+		}
+	case isa.OpCMP:
+		s.CmpVal = int64(int32(s.reg(in.Rn))) - int64(int32(operand2(s, in)))
+		s.CmpValid = true
+	case isa.OpTST:
+		s.CmpVal = int64(s.reg(in.Rn) & operand2(s, in))
+		s.CmpValid = true
+	case isa.OpLSL:
+		s.setReg(in.Rd, s.reg(in.Rn)<<(operand2(s, in)&31))
+	case isa.OpLSR:
+		s.setReg(in.Rd, s.reg(in.Rn)>>(operand2(s, in)&31))
+	case isa.OpASR:
+		s.setReg(in.Rd, uint32(int32(s.reg(in.Rn))>>(operand2(s, in)&31)))
+	case isa.OpROR:
+		n := operand2(s, in) & 31
+		v := s.reg(in.Rn)
+		s.setReg(in.Rd, v>>n|v<<(32-n))
+	case isa.OpMUL:
+		s.setReg(in.Rd, s.reg(in.Rn)*operand2(s, in))
+	case isa.OpMLA:
+		s.setReg(in.Rd, s.reg(in.Rd)+s.reg(in.Rn)*s.reg(in.Rm))
+	case isa.OpSDIV:
+		d := int32(operand2(s, in))
+		if d == 0 {
+			s.setReg(in.Rd, 0)
+		} else {
+			s.setReg(in.Rd, uint32(int32(s.reg(in.Rn))/d))
+		}
+	case isa.OpUDIV:
+		d := operand2(s, in)
+		if d == 0 {
+			s.setReg(in.Rd, 0)
+		} else {
+			s.setReg(in.Rd, s.reg(in.Rn)/d)
+		}
+	case isa.OpLDR, isa.OpVLDR:
+		s.setReg(in.Rd, s.Mem[memAddr(s, in, memBias)])
+	case isa.OpLDRB:
+		s.setReg(in.Rd, s.Mem[memAddr(s, in, memBias)]&0xFF)
+	case isa.OpLDRH:
+		s.setReg(in.Rd, s.Mem[memAddr(s, in, memBias)]&0xFFFF)
+	case isa.OpSTR, isa.OpVSTR:
+		s.Mem[memAddr(s, in, memBias)] = s.reg(in.Rm)
+	case isa.OpSTRB:
+		a := memAddr(s, in, memBias)
+		s.Mem[a] = (s.Mem[a] &^ 0xFF) | (s.reg(in.Rm) & 0xFF)
+	case isa.OpSTRH:
+		a := memAddr(s, in, memBias)
+		s.Mem[a] = (s.Mem[a] &^ 0xFFFF) | (s.reg(in.Rm) & 0xFFFF)
+	case isa.OpVADD:
+		s.setReg(in.Rd, s.reg(in.Rn)+operand2(s, in)) // integer-interpreted FP model
+	case isa.OpVSUB:
+		s.setReg(in.Rd, s.reg(in.Rn)-operand2(s, in))
+	case isa.OpVMUL:
+		s.setReg(in.Rd, s.reg(in.Rn)*operand2(s, in))
+	case isa.OpVDIV:
+		d := operand2(s, in)
+		if d == 0 {
+			s.setReg(in.Rd, 0)
+		} else {
+			s.setReg(in.Rd, s.reg(in.Rn)/d)
+		}
+	case isa.OpVMLA:
+		s.setReg(in.Rd, s.reg(in.Rd)+s.reg(in.Rn)*s.reg(in.Rm))
+	default:
+		return fmt.Errorf("emu: unknown opcode %v", in.Op)
+	}
+	return nil
+}
+
+// ExecBlock executes a block's instruction sequence over s. CDP commands and
+// Approach-1 mode-switch branches are encoding artifacts with no dataflow
+// semantics and are skipped; real control-flow terminators are likewise
+// no-ops here (the block's dataflow is what equivalence checking compares).
+func ExecBlock(s *State, b *prog.Block) error {
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		if in.Op == isa.OpCDP || in.ModeSwitch {
+			continue
+		}
+		if err := Exec(s, &in.Inst, uint32(in.MemRegion)<<20); err != nil {
+			return fmt.Errorf("%s at index %d: %w", in.Inst, i, err)
+		}
+	}
+	return nil
+}
+
+// CheckBlockEquivalence executes orig and xform from the same initial state
+// and returns an error describing the first state difference, or nil when
+// the blocks are semantically equivalent. The initial state should have
+// representative register values (use RandomState).
+func CheckBlockEquivalence(init *State, orig, xform *prog.Block) error {
+	a, b := init.Clone(), init.Clone()
+	if err := ExecBlock(a, orig); err != nil {
+		return fmt.Errorf("emu: original block: %w", err)
+	}
+	if err := ExecBlock(b, xform); err != nil {
+		return fmt.Errorf("emu: transformed block: %w", err)
+	}
+	if !a.Equal(b) {
+		return fmt.Errorf("emu: state diverges: %s", a.Diff(b))
+	}
+	return nil
+}
+
+// RandomState builds a state with pseudo-random register values and memory
+// pre-seeded so loads return non-trivial data. Deterministic in seed.
+func RandomState(seed uint64) *State {
+	s := NewState()
+	x := seed*0x9E3779B97F4A7C15 + 1
+	next := func() uint32 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return uint32(x)
+	}
+	for r := 0; r < 13; r++ {
+		// Small-ish values keep load addresses within a compact sparse
+		// region so original and transformed runs touch the same cells.
+		s.Regs[r] = next() % 4096
+	}
+	for a := uint32(0); a < 16384; a += 4 {
+		if v := next(); v%3 == 0 {
+			s.Mem[a] = v
+		}
+	}
+	return s
+}
+
+// VerifyProgramEquivalence checks every block of a transformed program
+// against its original counterpart under trials random initial states.
+// Blocks are matched positionally (compiler passes never add or remove
+// blocks). Returns the first violation found.
+func VerifyProgramEquivalence(orig, xform *prog.Program, trials int) error {
+	if len(orig.Funcs) != len(xform.Funcs) {
+		return fmt.Errorf("emu: function count changed: %d vs %d", len(orig.Funcs), len(xform.Funcs))
+	}
+	for fi := range orig.Funcs {
+		if len(orig.Funcs[fi].Blocks) != len(xform.Funcs[fi].Blocks) {
+			return fmt.Errorf("emu: %s: block count changed", orig.Funcs[fi].Name)
+		}
+		for bi := range orig.Funcs[fi].Blocks {
+			ob := orig.Funcs[fi].Blocks[bi]
+			xb := xform.Funcs[fi].Blocks[bi]
+			for tr := 0; tr < trials; tr++ {
+				init := RandomState(uint64(fi)<<32 | uint64(bi)<<8 | uint64(tr))
+				if err := CheckBlockEquivalence(init, ob, xb); err != nil {
+					return fmt.Errorf("f%d.b%d trial %d: %w", fi, bi, tr, err)
+				}
+			}
+		}
+	}
+	return nil
+}

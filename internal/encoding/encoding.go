@@ -1,0 +1,464 @@
+// Package encoding implements the bit-level instruction formats the paper's
+// mechanism relies on (Fig. 6):
+//
+//   - A32: the 32-bit base format — 4-bit condition, immediate flag, 7-bit
+//     opcode, three 4-bit register operands or a 12-bit immediate.
+//   - T16: the 16-bit compact ("Thumb") format — no condition field (the
+//     format cannot express predication) and a reduced register space of 11
+//     registers (R0..R10), exactly the two constraints the paper cites.
+//   - CDP, the mode-switch command (§IV-B): a 16-bit command whose 3-bit
+//     length field tells the decoder how many following halfwords are 16-bit
+//     instructions; the first of them shares the CDP's own 32-bit word
+//     (paper Fig. 9).
+//
+// T16 layouts (16 bits cannot hold an opcode, three 4-bit registers and a
+// useful immediate, so — like real Thumb — some fields are narrower):
+//
+//	register form:  [15]=0  [14:10] op5  [9:3] pack7 = rd*11+rn  [2:0] rm
+//	ALU imm form:   [15]=1  [14:10] op5  [9:7] reg  [6:0] imm7
+//	mem imm form:   [15]=1  [14:10] op5  [9:7] reg  [6:4] rn  [3:0] imm4
+//
+// In the register form rd and rn range over the full 11-register space
+// (base-11 packed: 11*11 = 121 <= 127) while rm is restricted to R0..R7. The
+// ALU immediate form is two-address (rd == rn for three-operand shapes) with
+// its register restricted to R0..R7. The memory immediate form carries the
+// data register and the base register in 3-bit fields plus a 4-bit offset —
+// word-scaled for LDR/STR (byte offsets 0,4,...,60), unscaled for the
+// byte/halfword variants. Instructions that pass isa.ThumbCheck but violate
+// these layout limits are handled by the compiler as requiring expansion
+// (see Representable).
+//
+// All encoders round-trip exactly; code layout, i-cache footprint and fetch
+// bandwidth in the simulator all derive from the byte sizes computed here.
+package encoding
+
+import (
+	"fmt"
+
+	"critics/internal/isa"
+)
+
+// Instruction sizes in bytes.
+const (
+	SizeA32 = 4
+	SizeT16 = 2
+)
+
+// EncodeA32 encodes in into the 32-bit format:
+//
+//	[31:28] cond  [27] immFlag  [26:20] op7  [19:16] Rn  [15:12] Rd
+//	[11:0] imm12 (immFlag=1)  or  [11:4] zero, [3:0] Rm (immFlag=0)
+//
+// Immediates are unsigned, 0..A32MaxImm.
+func EncodeA32(in isa.Inst) (uint32, error) {
+	if in.Op >= isa.NumOps {
+		return 0, fmt.Errorf("encoding: bad opcode %d", in.Op)
+	}
+	if in.HasImm && (in.Imm < 0 || in.Imm > isa.A32MaxImm) {
+		return 0, fmt.Errorf("encoding: immediate %d does not fit unsigned imm12", in.Imm)
+	}
+	var w uint32
+	w |= uint32(in.Cond&0xF) << 28
+	w |= uint32(in.Op&0x7F) << 20
+	w |= uint32(regField(in.Rn)) << 16
+	if isStore(in.Op) {
+		// Stores have no destination; the Rd field slot carries the
+		// data register (as in real ARM's Rt), freeing Rm for the
+		// immediate form.
+		w |= uint32(regField(in.Rm)) << 12
+		if in.HasImm {
+			w |= 1 << 27
+			w |= uint32(in.Imm) & 0xFFF
+		}
+		return w, nil
+	}
+	w |= uint32(regField(in.Rd)) << 12
+	if in.HasImm {
+		w |= 1 << 27
+		w |= uint32(in.Imm) & 0xFFF
+	} else {
+		w |= uint32(regField(in.Rm))
+	}
+	return w, nil
+}
+
+// isStore reports whether the opcode is a memory store.
+func isStore(op isa.Op) bool {
+	return op.IsMem() && !op.HasDst()
+}
+
+// DecodeA32 decodes a 32-bit word back into an instruction.
+func DecodeA32(w uint32) (isa.Inst, error) {
+	op := isa.Op((w >> 20) & 0x7F)
+	if op >= isa.NumOps {
+		return isa.Inst{}, fmt.Errorf("encoding: bad opcode field %d", op)
+	}
+	in := isa.Inst{
+		Op:   op,
+		Cond: isa.Cond((w >> 28) & 0xF),
+		Rn:   isa.Reg((w >> 16) & 0xF),
+		Rd:   isa.Reg((w >> 12) & 0xF),
+	}
+	if in.Cond >= isa.NumConds {
+		return isa.Inst{}, fmt.Errorf("encoding: bad condition field %d", in.Cond)
+	}
+	if isStore(op) {
+		in.Rm = isa.Reg((w >> 12) & 0xF)
+		in.Rd = isa.NoReg
+		if w&(1<<27) != 0 {
+			in.HasImm = true
+			in.Imm = int32(w & 0xFFF)
+		}
+		normalize(&in)
+		return in, nil
+	}
+	if w&(1<<27) != 0 {
+		in.HasImm = true
+		in.Imm = int32(w & 0xFFF)
+		in.Rm = isa.NoReg
+	} else {
+		in.Rm = isa.Reg(w & 0xF)
+	}
+	normalize(&in)
+	return in, nil
+}
+
+// regField maps a register (or NoReg) to its 4-bit A32 field. Absent
+// operands encode as 0 and are reconstructed from opcode metadata on decode.
+func regField(r isa.Reg) uint8 {
+	if r == isa.NoReg {
+		return 0
+	}
+	return uint8(r) & 0xF
+}
+
+// normalize clears operand fields the opcode shape does not use so that
+// encode/decode round-trips compare equal.
+func normalize(in *isa.Inst) {
+	if !in.Op.HasDst() {
+		in.Rd = isa.NoReg
+	}
+	nsrc := int(in.Op.NumSrc())
+	if in.HasImm && !in.Op.IsMem() && nsrc > 0 {
+		nsrc--
+	}
+	if nsrc < 1 {
+		in.Rn = isa.NoReg
+	}
+	if nsrc < 2 || (in.HasImm && !in.Op.IsMem()) {
+		in.Rm = isa.NoReg
+	}
+	if !in.HasImm {
+		in.Imm = 0
+	}
+}
+
+// Normalize returns a copy of in with unused operand fields cleared to
+// NoReg, so instructions built by hand compare equal to decoded ones.
+func Normalize(in isa.Inst) isa.Inst {
+	normalize(&in)
+	return in
+}
+
+// t16Ops is the T16 opcode page; the 5-bit opcode field indexes this table.
+var t16Ops = []isa.Op{
+	isa.OpNOP, isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpORR, isa.OpEOR,
+	isa.OpBIC, isa.OpMOV, isa.OpMVN, isa.OpCMP, isa.OpTST, isa.OpLSL,
+	isa.OpLSR, isa.OpASR, isa.OpROR, isa.OpMUL, isa.OpLDR, isa.OpLDRB,
+	isa.OpLDRH, isa.OpSTR, isa.OpSTRB, isa.OpSTRH, isa.OpB, isa.OpBL,
+	isa.OpBX, isa.OpCDP,
+}
+
+var t16OpIndex = buildT16Index()
+
+func buildT16Index() map[isa.Op]uint16 {
+	m := make(map[isa.Op]uint16, len(t16Ops))
+	for i, op := range t16Ops {
+		m[op] = uint16(i)
+	}
+	return m
+}
+
+// EncodeT16 encodes in as a single 16-bit halfword. The instruction must be
+// Representable; otherwise an error describing the violated constraint is
+// returned. CDP commands use EncodeCDP.
+func EncodeT16(in isa.Inst) (uint16, error) {
+	if reason := in.ThumbCheck(); reason != isa.ThumbOK {
+		return 0, fmt.Errorf("encoding: not T16-representable: %v", reason)
+	}
+	if in.Op == isa.OpCDP {
+		return 0, fmt.Errorf("encoding: CDP must be encoded with EncodeCDP")
+	}
+	opIdx, ok := t16OpIndex[in.Op]
+	if !ok {
+		return 0, fmt.Errorf("encoding: opcode %v has no T16 page entry", in.Op)
+	}
+	if in.Op == isa.OpBX && in.Rn != isa.LR {
+		return 0, fmt.Errorf("encoding: T16 BX supports only the LR operand, got %v", in.Rn)
+	}
+	if in.HasImm {
+		return encodeT16Imm(in, opIdx)
+	}
+	rd, err := t16RegCode(in.Rd)
+	if err != nil {
+		return 0, err
+	}
+	rn, err := t16RegCode(effRn(in))
+	if err != nil {
+		return 0, err
+	}
+	rm, err := t16RegCode(in.Rm)
+	if err != nil {
+		return 0, err
+	}
+	if rm > 7 {
+		return 0, fmt.Errorf("encoding: rm %v exceeds the T16 3-bit field", in.Rm)
+	}
+	var w uint16
+	w |= opIdx << 10
+	w |= (rd*11 + rn) << 3
+	w |= rm
+	return w, nil
+}
+
+// t16RegCode maps a register to its code in the 11-register space. NoReg
+// encodes as 0 and is reconstructed from opcode metadata on decode.
+func t16RegCode(r isa.Reg) (uint16, error) {
+	if r == isa.NoReg {
+		return 0, nil
+	}
+	if r <= isa.ThumbMaxReg {
+		return uint16(r), nil
+	}
+	return 0, fmt.Errorf("encoding: register %v not addressable in T16", r)
+}
+
+// effRn returns the Rn value to encode: BX LR is the only high-register use
+// allowed in T16 and the LR operand is implied by the opcode. The T16
+// encoder rejects BX with any other operand (see EncodeT16).
+func effRn(in isa.Inst) isa.Reg {
+	if in.Op == isa.OpBX && in.Rn == isa.LR {
+		return isa.R0
+	}
+	return in.Rn
+}
+
+func encodeT16Imm(in isa.Inst, opIdx uint16) (uint16, error) {
+	if !T16ImmFormOK(in) {
+		return 0, fmt.Errorf("encoding: %v does not fit the T16 immediate form", in)
+	}
+	var w uint16
+	w |= 1 << 15
+	w |= opIdx << 10
+	if in.Op.IsMem() {
+		// Memory form: data/dest register, base register, imm4 offset.
+		reg := in.Rd
+		if reg == isa.NoReg {
+			reg = in.Rm // store: the data register
+		}
+		imm := in.Imm
+		if memImmScaled(in.Op) {
+			imm /= 4
+		}
+		w |= uint16(reg) << 7
+		w |= uint16(in.Rn) << 4
+		w |= uint16(imm) & 0xF
+		return w, nil
+	}
+	reg := in.Rd
+	if reg == isa.NoReg {
+		reg = in.Rn // CMP/TST: the register operand is Rn
+	}
+	var code uint16
+	if reg != isa.NoReg {
+		code = uint16(reg)
+	}
+	w |= code << 7
+	w |= uint16(in.Imm) & 0x7F
+	return w, nil
+}
+
+// memImmScaled reports whether the memory immediate form scales its 4-bit
+// offset by the word size (full-word loads/stores only, as in real Thumb).
+func memImmScaled(op isa.Op) bool {
+	return op == isa.OpLDR || op == isa.OpSTR
+}
+
+// T16ImmFormOK reports whether an instruction with an immediate fits a T16
+// immediate form.
+//
+// ALU form: immediate in 0..T16MaxImm, register operands collapsing to a
+// single register in R0..R7 (two-address: rd == rn when both exist).
+//
+// Memory form: data/dest and base registers in R0..R7, offset expressible in
+// the 4-bit field (0,4,...,60 for word ops; 0..15 for byte/halfword ops).
+//
+// The compiler treats instructions that fail this check (or
+// T16RegisterFormOK) as requiring expansion into two halfwords when
+// converting opportunistically, and as non-representable under the CritIC
+// all-or-nothing rule.
+func T16ImmFormOK(in isa.Inst) bool {
+	if !in.HasImm {
+		return true
+	}
+	if in.Imm < 0 || in.Imm > isa.T16MaxImm {
+		return false
+	}
+	if in.Op.IsMem() {
+		reg := in.Rd
+		if reg == isa.NoReg {
+			reg = in.Rm
+		}
+		if reg == isa.NoReg || reg > isa.R7 {
+			return false
+		}
+		if in.Rn == isa.NoReg || in.Rn > isa.R7 {
+			return false
+		}
+		if memImmScaled(in.Op) {
+			return in.Imm%4 == 0 && in.Imm/4 <= 15
+		}
+		return in.Imm <= 15
+	}
+	regs := 0
+	only := isa.NoReg
+	if in.Rd != isa.NoReg {
+		regs++
+		only = in.Rd
+	}
+	if in.Rn != isa.NoReg {
+		regs++
+		only = in.Rn
+	}
+	switch regs {
+	case 0:
+		return true
+	case 1:
+		return only <= isa.R7
+	default:
+		return in.Rd == in.Rn && in.Rd <= isa.R7
+	}
+}
+
+// T16RegisterFormOK reports whether a register-form instruction fits the T16
+// register layout: rd/rn within R0..R10 and rm within R0..R7.
+func T16RegisterFormOK(in isa.Inst) bool {
+	if in.HasImm {
+		return true
+	}
+	if in.Rd != isa.NoReg && in.Rd > isa.ThumbMaxReg {
+		return false
+	}
+	if rn := effRn(in); rn != isa.NoReg && rn > isa.ThumbMaxReg {
+		return false
+	}
+	if in.Rm != isa.NoReg && in.Rm > isa.R7 {
+		return false
+	}
+	return true
+}
+
+// Representable reports whether the instruction can be emitted in T16 as a
+// single halfword under the full encoding constraints: the ISA-level
+// ThumbCheck plus this package's layout limits.
+func Representable(in isa.Inst) bool {
+	if in.ThumbCheck() != isa.ThumbOK {
+		return false
+	}
+	if in.Op == isa.OpCDP {
+		return false
+	}
+	if in.HasImm {
+		return T16ImmFormOK(in)
+	}
+	return T16RegisterFormOK(in)
+}
+
+// DecodeT16 decodes a 16-bit halfword. CDP halfwords must be decoded with
+// DecodeCDP.
+func DecodeT16(w uint16) (isa.Inst, error) {
+	opIdx := (w >> 10) & 0x1F
+	if int(opIdx) >= len(t16Ops) {
+		return isa.Inst{}, fmt.Errorf("encoding: bad T16 opcode index %d", opIdx)
+	}
+	op := t16Ops[opIdx]
+	if w&(1<<15) != 0 {
+		in := isa.Inst{Op: op, HasImm: true, Rd: isa.NoReg, Rn: isa.NoReg, Rm: isa.NoReg}
+		reg := isa.Reg((w >> 7) & 0x7)
+		if op.IsMem() {
+			in.Rn = isa.Reg((w >> 4) & 0x7)
+			in.Imm = int32(w & 0xF)
+			if memImmScaled(op) {
+				in.Imm *= 4
+			}
+			if op.HasDst() {
+				in.Rd = reg
+			} else {
+				in.Rm = reg // store data register
+			}
+			return in, nil
+		}
+		in.Imm = int32(w & 0x7F)
+		nsrc := int(op.NumSrc())
+		switch {
+		case op.HasDst():
+			in.Rd = reg
+			if nsrc > 1 {
+				in.Rn = reg // two-address form
+			}
+		case nsrc > 0:
+			in.Rn = reg
+		}
+		normalize(&in)
+		return in, nil
+	}
+	if op == isa.OpCDP {
+		return isa.Inst{}, fmt.Errorf("encoding: CDP halfword must be decoded with DecodeCDP")
+	}
+	pack := (w >> 3) & 0x7F
+	in := isa.Inst{
+		Op: op,
+		Rd: isa.Reg(pack / 11),
+		Rn: isa.Reg(pack % 11),
+		Rm: isa.Reg(w & 0x7),
+	}
+	if op == isa.OpBX {
+		in.Rn = isa.LR
+	}
+	normalize(&in)
+	return in, nil
+}
+
+// CDP is the decoded form of the Thumb-switch command: Count following
+// halfword instructions (1..isa.CDPMaxRun) are in the 16-bit format, the
+// first sharing the CDP's own 32-bit word (paper Fig. 9).
+type CDP struct {
+	Count int
+}
+
+var cdpOpIdx = t16OpIndex[isa.OpCDP]
+
+// EncodeCDP encodes the mode-switch command covering count following 16-bit
+// instructions.
+func EncodeCDP(count int) (uint16, error) {
+	if count < 1 || count > isa.CDPMaxRun {
+		return 0, fmt.Errorf("encoding: CDP count %d out of range 1..%d", count, isa.CDPMaxRun)
+	}
+	var w uint16
+	w |= cdpOpIdx << 10
+	w |= uint16(count-1) << 7
+	return w, nil
+}
+
+// DecodeCDP decodes a CDP halfword.
+func DecodeCDP(w uint16) (CDP, error) {
+	if !IsCDP(w) {
+		return CDP{}, fmt.Errorf("encoding: halfword %#04x is not a CDP command", w)
+	}
+	return CDP{Count: int((w>>7)&0x7) + 1}, nil
+}
+
+// IsCDP reports whether a halfword is a CDP mode-switch command.
+func IsCDP(w uint16) bool {
+	return w&(1<<15) == 0 && (w>>10)&0x1F == cdpOpIdx
+}

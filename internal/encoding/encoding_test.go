@@ -1,0 +1,395 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"critics/internal/isa"
+)
+
+// randInst generates a random, shape-valid instruction.
+func randInst(r *rand.Rand) isa.Inst {
+	ops := []isa.Op{
+		isa.OpADD, isa.OpSUB, isa.OpRSB, isa.OpAND, isa.OpORR, isa.OpEOR,
+		isa.OpBIC, isa.OpMOV, isa.OpMVN, isa.OpCMP, isa.OpTST, isa.OpLSL,
+		isa.OpLSR, isa.OpASR, isa.OpROR, isa.OpMUL, isa.OpMLA, isa.OpSDIV,
+		isa.OpUDIV, isa.OpLDR, isa.OpLDRB, isa.OpLDRH, isa.OpSTR, isa.OpSTRB,
+		isa.OpSTRH, isa.OpB, isa.OpBL, isa.OpBX, isa.OpVADD, isa.OpVMUL,
+		isa.OpVDIV, isa.OpVLDR, isa.OpVSTR, isa.OpNOP,
+	}
+	op := ops[r.Intn(len(ops))]
+	in := isa.Inst{
+		Op: op,
+		Rd: isa.Reg(r.Intn(13)),
+		Rn: isa.Reg(r.Intn(13)),
+		Rm: isa.Reg(r.Intn(13)),
+	}
+	// Predication is the exception in real code; skew accordingly so the
+	// T16 path gets exercised.
+	if r.Intn(4) == 0 {
+		in.Cond = isa.Cond(1 + r.Intn(int(isa.NumConds)-1))
+	}
+	if op == isa.OpBX {
+		in.Rn = isa.LR
+	}
+	if r.Intn(2) == 0 && !op.IsControl() {
+		in.HasImm = true
+		if r.Intn(2) == 0 {
+			in.Imm = int32(r.Intn(16)) * 4 // small word-aligned offsets
+		} else {
+			in.Imm = int32(r.Intn(isa.A32MaxImm + 1))
+		}
+		if !op.IsMem() && op.NumSrc() > 1 && r.Intn(2) == 0 {
+			in.Rn = in.Rd // two-address shape
+		}
+	}
+	return Normalize(in)
+}
+
+func TestA32RoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		in := randInst(r)
+		w, err := EncodeA32(in)
+		if err != nil {
+			t.Fatalf("EncodeA32(%v): %v", in, err)
+		}
+		got, err := DecodeA32(w)
+		if err != nil {
+			t.Fatalf("DecodeA32(%#08x) for %v: %v", w, in, err)
+		}
+		if got != in {
+			t.Fatalf("A32 round trip: %v -> %#08x -> %v", in, w, got)
+		}
+	}
+}
+
+func TestA32RejectsBadImmediate(t *testing.T) {
+	in := isa.Inst{Op: isa.OpADD, Rd: isa.R0, Rn: isa.R1, HasImm: true, Imm: 4096}
+	if _, err := EncodeA32(in); err == nil {
+		t.Error("EncodeA32 accepted a 13-bit immediate")
+	}
+	in.Imm = -1
+	if _, err := EncodeA32(in); err == nil {
+		t.Error("EncodeA32 accepted a negative immediate")
+	}
+}
+
+func TestT16RoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	tried, encoded := 0, 0
+	for i := 0; i < 50000; i++ {
+		in := randInst(r)
+		tried++
+		if !Representable(in) {
+			if _, err := EncodeT16(in); err == nil && in.Op != isa.OpCDP {
+				// EncodeT16 may succeed for shapes Representable
+				// rejects only if our predicate is too strict;
+				// that would be a bug in Representable.
+				t.Fatalf("Representable(%v) = false but EncodeT16 succeeded", in)
+			}
+			continue
+		}
+		encoded++
+		w, err := EncodeT16(in)
+		if err != nil {
+			t.Fatalf("EncodeT16(%v) rejected a Representable instruction: %v", in, err)
+		}
+		got, err := DecodeT16(w)
+		if err != nil {
+			t.Fatalf("DecodeT16(%#04x) for %v: %v", w, in, err)
+		}
+		if got != in {
+			t.Fatalf("T16 round trip: %v -> %#04x -> %v", in, w, got)
+		}
+	}
+	if encoded < tried/20 {
+		t.Fatalf("only %d/%d random instructions were T16-representable; generator or predicate is off", encoded, tried)
+	}
+}
+
+func TestT16RejectsPredicated(t *testing.T) {
+	in := isa.Inst{Op: isa.OpADD, Cond: isa.CondEQ, Rd: isa.R0, Rn: isa.R1, Rm: isa.R2}
+	if _, err := EncodeT16(in); err == nil {
+		t.Error("EncodeT16 accepted a predicated instruction")
+	}
+	if Representable(in) {
+		t.Error("Representable accepted a predicated instruction")
+	}
+}
+
+func TestT16RejectsHighRegisters(t *testing.T) {
+	in := isa.Inst{Op: isa.OpADD, Rd: isa.R11, Rn: isa.R1, Rm: isa.R2}
+	if Representable(in) {
+		t.Error("Representable accepted r11 destination")
+	}
+	in = isa.Inst{Op: isa.OpADD, Rd: isa.R10, Rn: isa.R10, Rm: isa.R8}
+	if Representable(in) {
+		t.Error("Representable accepted r8 in the 3-bit rm field")
+	}
+	in = isa.Inst{Op: isa.OpADD, Rd: isa.R10, Rn: isa.R10, Rm: isa.R7}
+	if !Representable(in) {
+		t.Error("Representable rejected a legal high-rd/rn low-rm shape")
+	}
+}
+
+func TestT16MemImmediateForm(t *testing.T) {
+	// Word loads: scaled offsets 0..60 in steps of 4.
+	ld := isa.Inst{Op: isa.OpLDR, Rd: isa.R3, Rn: isa.R4, HasImm: true, Imm: 60}
+	ld = Normalize(ld)
+	if !Representable(ld) {
+		t.Fatal("LDR r3,[r4,#60] should be representable")
+	}
+	w, err := EncodeT16(ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeT16(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ld {
+		t.Fatalf("mem round trip: %v -> %v", ld, got)
+	}
+	// Unaligned or oversized word offsets are not representable.
+	for _, imm := range []int32{2, 61, 64, 100} {
+		in := Normalize(isa.Inst{Op: isa.OpLDR, Rd: isa.R3, Rn: isa.R4, HasImm: true, Imm: imm})
+		if Representable(in) {
+			t.Errorf("LDR with offset %d should not be representable", imm)
+		}
+	}
+	// Byte loads: unscaled 0..15.
+	lb := Normalize(isa.Inst{Op: isa.OpLDRB, Rd: isa.R1, Rn: isa.R2, HasImm: true, Imm: 15})
+	if !Representable(lb) {
+		t.Error("LDRB offset 15 should be representable")
+	}
+	lb.Imm = 16
+	if Representable(lb) {
+		t.Error("LDRB offset 16 should not be representable")
+	}
+	// Stores carry the data register in the reg field.
+	st := Normalize(isa.Inst{Op: isa.OpSTR, Rn: isa.R5, Rm: isa.R6, HasImm: true, Imm: 8})
+	if !Representable(st) {
+		t.Fatal("STR r6,[r5,#8] should be representable")
+	}
+	w, err = EncodeT16(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeT16(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != st {
+		t.Fatalf("store mem round trip: %v -> %v", st, got)
+	}
+}
+
+func TestT16TwoAddressRestriction(t *testing.T) {
+	// ADD r0, r1, #4 is NOT representable (rd != rn), ADD r1, r1, #4 is.
+	bad := Normalize(isa.Inst{Op: isa.OpADD, Rd: isa.R0, Rn: isa.R1, HasImm: true, Imm: 4})
+	if Representable(bad) {
+		t.Error("three-address immediate ADD should not be representable")
+	}
+	good := Normalize(isa.Inst{Op: isa.OpADD, Rd: isa.R1, Rn: isa.R1, HasImm: true, Imm: 4})
+	if !Representable(good) {
+		t.Error("two-address immediate ADD should be representable")
+	}
+}
+
+func TestCDPRoundTrip(t *testing.T) {
+	for count := 1; count <= isa.CDPMaxRun; count++ {
+		w, err := EncodeCDP(count)
+		if err != nil {
+			t.Fatalf("EncodeCDP(%d): %v", count, err)
+		}
+		if !IsCDP(w) {
+			t.Fatalf("IsCDP(%#04x) = false for count %d", w, count)
+		}
+		c, err := DecodeCDP(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Count != count {
+			t.Fatalf("CDP round trip: %d -> %d", count, c.Count)
+		}
+	}
+	if _, err := EncodeCDP(0); err == nil {
+		t.Error("EncodeCDP(0) should fail")
+	}
+	if _, err := EncodeCDP(isa.CDPMaxRun + 1); err == nil {
+		t.Error("EncodeCDP above max should fail")
+	}
+}
+
+func TestCDPNotConfusableWithT16(t *testing.T) {
+	// Non-CDP T16 encodings must never satisfy IsCDP; the fetch/decode
+	// model relies on this to find mode switches.
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		in := randInst(r)
+		if !Representable(in) {
+			continue
+		}
+		w, err := EncodeT16(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if IsCDP(w) {
+			t.Fatalf("instruction %v encodes to %#04x which looks like a CDP", in, w)
+		}
+	}
+}
+
+func TestBXOnlyLR(t *testing.T) {
+	in := Normalize(isa.Inst{Op: isa.OpBX, Rn: isa.R3})
+	if _, err := EncodeT16(in); err == nil {
+		t.Error("T16 BX with a non-LR operand should be rejected")
+	}
+	ret := Normalize(isa.Inst{Op: isa.OpBX, Rn: isa.LR})
+	w, err := EncodeT16(ret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeT16(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ret {
+		t.Fatalf("BX LR round trip: %v -> %v", ret, got)
+	}
+}
+
+// Property: every Representable instruction both encodes and round-trips.
+func TestRepresentableAlwaysEncodes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			in := randInst(r)
+			if !Representable(in) {
+				continue
+			}
+			w, err := EncodeT16(in)
+			if err != nil {
+				return false
+			}
+			got, err := DecodeT16(w)
+			if err != nil || got != in {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randInst(r)
+		return Normalize(in) == in && Normalize(Normalize(in)) == Normalize(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Exhaustive shape sweep: for every opcode with a T16 page entry, enumerate
+// all low-register operand combinations in register and immediate forms and
+// require every Representable instruction to round-trip.
+func TestT16ExhaustiveShapes(t *testing.T) {
+	ops := []isa.Op{
+		isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpORR, isa.OpEOR, isa.OpBIC,
+		isa.OpMOV, isa.OpMVN, isa.OpCMP, isa.OpTST, isa.OpLSL, isa.OpLSR,
+		isa.OpASR, isa.OpROR, isa.OpMUL, isa.OpLDR, isa.OpLDRB, isa.OpLDRH,
+		isa.OpSTR, isa.OpSTRB, isa.OpSTRH,
+	}
+	checked := 0
+	for _, op := range ops {
+		for rd := 0; rd <= 10; rd++ {
+			for rn := 0; rn <= 10; rn++ {
+				for rm := 0; rm <= 10; rm += 2 {
+					in := Normalize(isa.Inst{Op: op, Rd: isa.Reg(rd), Rn: isa.Reg(rn), Rm: isa.Reg(rm)})
+					if Representable(in) {
+						w, err := EncodeT16(in)
+						if err != nil {
+							t.Fatalf("%v: %v", in, err)
+						}
+						got, err := DecodeT16(w)
+						if err != nil || got != in {
+							t.Fatalf("%v -> %#04x -> %v (%v)", in, w, got, err)
+						}
+						checked++
+					}
+					// Immediate forms.
+					for _, imm := range []int32{0, 4, 15, 16, 60, 127} {
+						ii := Normalize(isa.Inst{Op: op, Rd: isa.Reg(rd), Rn: isa.Reg(rn), Rm: isa.Reg(rm), HasImm: true, Imm: imm})
+						if Representable(ii) {
+							w, err := EncodeT16(ii)
+							if err != nil {
+								t.Fatalf("%v: %v", ii, err)
+							}
+							got, err := DecodeT16(w)
+							if err != nil || got != ii {
+								t.Fatalf("%v -> %#04x -> %v (%v)", ii, w, got, err)
+							}
+							checked++
+						}
+					}
+				}
+			}
+		}
+	}
+	if checked < 2000 {
+		t.Fatalf("only %d shapes checked; sweep too narrow", checked)
+	}
+}
+
+// Exhaustive A32 sweep over all opcodes and a register/immediate lattice.
+func TestA32ExhaustiveShapes(t *testing.T) {
+	checked := 0
+	for op := isa.Op(0); op < isa.NumOps; op++ {
+		if op == isa.OpCDP {
+			continue
+		}
+		for _, cond := range []isa.Cond{isa.CondAL, isa.CondNE, isa.CondLT} {
+			for rd := 0; rd < 16; rd += 3 {
+				for rn := 0; rn < 16; rn += 5 {
+					in := Normalize(isa.Inst{Op: op, Cond: cond, Rd: isa.Reg(rd), Rn: isa.Reg(rn), Rm: isa.R2})
+					if op == isa.OpBX {
+						in.Rn = isa.LR
+						in = Normalize(in)
+					}
+					w, err := EncodeA32(in)
+					if err != nil {
+						t.Fatalf("%v: %v", in, err)
+					}
+					got, err := DecodeA32(w)
+					if err != nil || got != in {
+						t.Fatalf("%v -> %#08x -> %v (%v)", in, w, got, err)
+					}
+					checked++
+					im := Normalize(isa.Inst{Op: op, Cond: cond, Rd: isa.Reg(rd), Rn: isa.Reg(rn), HasImm: true, Imm: 2047})
+					if op == isa.OpBX {
+						continue
+					}
+					w, err = EncodeA32(im)
+					if err != nil {
+						t.Fatalf("%v: %v", im, err)
+					}
+					got, err = DecodeA32(w)
+					if err != nil || got != im {
+						t.Fatalf("%v -> %#08x -> %v (%v)", im, w, got, err)
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d shapes checked", checked)
+	}
+}

@@ -1,0 +1,78 @@
+package energy
+
+import (
+	"testing"
+
+	"critics/internal/cpu"
+)
+
+func fakeResult(cycles, instrs, iacc, dacc, l2, dram int64) *cpu.Result {
+	return &cpu.Result{
+		Cycles:         cycles,
+		Instrs:         instrs,
+		ICacheAccesses: iacc,
+		DCacheAccesses: dacc,
+		L2Accesses:     l2,
+		DRAMAccesses:   dram,
+	}
+}
+
+func TestBreakdownPlausible(t *testing.T) {
+	// A mobile-ish window: IPC ~0.9, 1 i-access per 2.2 instrs, 25% mem
+	// ops, modest L2/DRAM traffic.
+	res := fakeResult(66_000, 60_000, 27_000, 15_000, 1_800, 500)
+	b := Compute(res, DefaultConfig())
+	tot := b.Total()
+	if tot <= 0 {
+		t.Fatal("non-positive energy")
+	}
+	cpuShare := b.CPUOnly() / tot
+	if cpuShare < 0.2 || cpuShare > 0.6 {
+		t.Errorf("CPU-side share %.3f; want a plausible mobile 20-60%%", cpuShare)
+	}
+	restShare := b.SoCRest / tot
+	if restShare < 0.3 || restShare > 0.7 {
+		t.Errorf("rest-of-SoC share %.3f; want ~half", restShare)
+	}
+	memShare := b.Memory / tot
+	if memShare < 0.03 || memShare > 0.3 {
+		t.Errorf("memory share %.3f out of range", memShare)
+	}
+}
+
+func TestSavingsFollowSpeedup(t *testing.T) {
+	base := Compute(fakeResult(66_000, 60_000, 27_000, 15_000, 1_800, 500), DefaultConfig())
+	// 10% fewer cycles, 12% fewer i-cache accesses, same instructions.
+	opt := Compute(fakeResult(59_400, 60_000, 23_800, 15_000, 1_750, 490), DefaultConfig())
+	s := ComputeSavings(base, opt)
+	if s.TotalPct <= 0 {
+		t.Fatalf("no system saving: %+v", s)
+	}
+	if s.CPUOnlyPct <= s.TotalPct {
+		t.Errorf("CPU-only saving %.2f%% should exceed system saving %.2f%% (rest-of-SoC dilutes)", s.CPUOnlyPct, s.TotalPct)
+	}
+	if s.ICachePct <= 0 || s.CPUPct <= 0 {
+		t.Errorf("component savings should be positive: %+v", s)
+	}
+	// Components must account for the total.
+	sum := s.ICachePct + s.CPUPct + s.MemoryPct
+	if diff := sum - s.TotalPct; diff > 0.01 || diff < -0.01 {
+		t.Errorf("components sum %.3f != total %.3f", sum, s.TotalPct)
+	}
+}
+
+func TestNoSavingsForIdenticalRuns(t *testing.T) {
+	b := Compute(fakeResult(50_000, 45_000, 20_000, 11_000, 900, 300), DefaultConfig())
+	s := ComputeSavings(b, b)
+	if s.TotalPct != 0 || s.CPUOnlyPct != 0 {
+		t.Errorf("identical runs produced savings: %+v", s)
+	}
+}
+
+func TestZeroBaseline(t *testing.T) {
+	var zero Breakdown
+	s := ComputeSavings(zero, zero)
+	if s.TotalPct != 0 {
+		t.Error("zero baseline mishandled")
+	}
+}

@@ -1,0 +1,305 @@
+// Package exp implements one runner per table and figure of the paper's
+// evaluation. Each runner assembles workloads (internal/workload), profiles
+// (internal/core), compiled variants (internal/compiler) and simulations
+// (internal/cpu) into exactly the rows/series the paper reports; the
+// formatting methods print them. cmd/criticsim exposes the runners on the
+// command line and bench_test.go wraps each in a benchmark.
+//
+// Methodology (mirroring §IV-C at reduced scale): every app is profiled
+// over sampled windows, each configuration is simulated over the same
+// architectural instruction budget after a cache/predictor warm-up window,
+// and baseline/optimized pairs see identical control flow and data
+// addresses (the trace layer keys its randomness by stable instruction
+// identity).
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"critics/internal/compiler"
+	"critics/internal/core"
+	"critics/internal/cpu"
+	"critics/internal/dfg"
+	"critics/internal/prog"
+	"critics/internal/trace"
+	"critics/internal/workload"
+)
+
+// Context carries experiment scale parameters and caches programs, profiles
+// and compiled variants across runners.
+type Context struct {
+	Seed        int64
+	WarmupArch  int // instructions skipped before the warm window
+	WarmArch    int // simulated but not measured (cache/BPU warm-up)
+	MeasureArch int // measured window, in architectural instructions
+	ProfilePlan trace.SamplePlan
+	HighFanout  int32 // individually-critical threshold
+
+	mu       sync.Mutex
+	progs    map[string]*prog.Program
+	profs    map[string]*core.Profile
+	variants map[string]*variantEntry
+}
+
+type variantEntry struct {
+	p  *prog.Program
+	st compiler.Stats
+}
+
+// NewContext returns the full-scale experiment context.
+func NewContext() *Context {
+	return &Context{
+		Seed:        42,
+		WarmupArch:  20_000,
+		WarmArch:    30_000,
+		MeasureArch: 120_000,
+		ProfilePlan: trace.SamplePlan{Samples: 12, Length: 25_000, Gap: 5_000, Warmup: 5_000},
+		HighFanout:  8,
+		progs:       map[string]*prog.Program{},
+		profs:       map[string]*core.Profile{},
+		variants:    map[string]*variantEntry{},
+	}
+}
+
+// QuickContext returns a reduced-scale context for tests and benchmarks.
+func QuickContext() *Context {
+	c := NewContext()
+	c.WarmupArch = 10_000
+	c.WarmArch = 15_000
+	c.MeasureArch = 40_000
+	c.ProfilePlan = trace.SamplePlan{Samples: 6, Length: 15_000, Gap: 4_000, Warmup: 5_000}
+	return c
+}
+
+// Program returns (and caches) the generated program for an app.
+func (c *Context) Program(a workload.App) *prog.Program {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.progs[a.Params.Name]; ok {
+		return p
+	}
+	p := workload.Generate(a.Params)
+	c.progs[a.Params.Name] = p
+	return p
+}
+
+// Profile returns (and caches) the CritIC profile for an app. ideal relaxes
+// the all-or-nothing representability requirement during selection
+// (CritIC.Ideal). windowsFrac < 1 profiles only the leading fraction of the
+// sampled windows (Fig. 12b).
+func (c *Context) Profile(a workload.App, ideal bool, windowsFrac float64) *core.Profile {
+	key := fmt.Sprintf("%s|%v|%.2f", a.Params.Name, ideal, windowsFrac)
+	c.mu.Lock()
+	if pr, ok := c.profs[key]; ok {
+		c.mu.Unlock()
+		return pr
+	}
+	c.mu.Unlock()
+
+	p := c.Program(a)
+	ws := trace.Collect(p, a.Params.Seed, c.ProfilePlan)
+	if windowsFrac > 0 && windowsFrac < 1 {
+		n := int(float64(len(ws))*windowsFrac + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		ws = ws[:n]
+	}
+	cfg := core.DefaultConfig()
+	cfg.RequireThumb = !ideal
+	pr := core.BuildProfile(p, ws, cfg)
+
+	c.mu.Lock()
+	c.profs[key] = pr
+	c.mu.Unlock()
+	return pr
+}
+
+// Variant kinds accepted by Context.Variant.
+const (
+	VarBase         = "base"
+	VarHoist        = "hoist"
+	VarCritIC       = "critic"
+	VarCritICIdeal  = "critic-ideal"
+	VarCritICBranch = "critic-branch"
+	VarOPP16        = "opp16"
+	VarCompress     = "compress"
+	VarOPP16CritIC  = "opp16+critic"
+)
+
+// Variant returns (and caches) a compiled variant of an app's program.
+// For CritIC variants with a length cap other than 5, use kind
+// "critic-len-N" (exactly-length-N selection, Fig. 12a) or
+// "critic-frac-F" (profiling fraction, Fig. 12b with F in percent).
+func (c *Context) Variant(a workload.App, kind string) (*prog.Program, compiler.Stats) {
+	key := a.Params.Name + "|" + kind
+	c.mu.Lock()
+	if v, ok := c.variants[key]; ok {
+		c.mu.Unlock()
+		return v.p, v.st
+	}
+	c.mu.Unlock()
+
+	p, st := c.buildVariant(a, kind)
+	c.mu.Lock()
+	c.variants[key] = &variantEntry{p: p, st: st}
+	c.mu.Unlock()
+	return p, st
+}
+
+func (c *Context) buildVariant(a workload.App, kind string) (*prog.Program, compiler.Stats) {
+	base := c.Program(a)
+	var (
+		q   *prog.Program
+		st  compiler.Stats
+		err error
+	)
+	switch {
+	case kind == VarBase:
+		return base, compiler.Stats{}
+	case kind == VarHoist:
+		q, st, err = compiler.ApplyCritIC(base, c.Profile(a, false, 1), compiler.Options{MaxLen: 5, HoistOnly: true})
+	case kind == VarCritIC:
+		q, st, err = compiler.ApplyCritIC(base, c.Profile(a, false, 1), compiler.Options{MaxLen: 5, Switch: compiler.SwitchCDP})
+	case kind == VarCritICIdeal:
+		q, st, err = compiler.ApplyCritIC(base, c.Profile(a, true, 1), compiler.Options{MaxLen: core.MaxChainLen, Switch: compiler.SwitchCDP, Ideal: true})
+	case kind == VarCritICBranch:
+		q, st, err = compiler.ApplyCritIC(base, c.Profile(a, false, 1), compiler.Options{MaxLen: 5, Switch: compiler.SwitchBranch})
+	case kind == VarOPP16:
+		q, st, err = compiler.ApplyOPP16(base, 3)
+	case kind == VarCompress:
+		q, st, err = compiler.ApplyCompress(base)
+	case kind == VarOPP16CritIC:
+		var mid *prog.Program
+		mid, st, err = compiler.ApplyCritIC(base, c.Profile(a, false, 1), compiler.Options{MaxLen: 5, Switch: compiler.SwitchCDP})
+		if err == nil {
+			var st2 compiler.Stats
+			q, st2, err = compiler.ApplyOPP16(mid, 3)
+			st.ConvertedInstrs += st2.ConvertedInstrs
+			st.ExpandedInstrs += st2.ExpandedInstrs
+			st.CDPsInserted += st2.CDPsInserted
+		}
+	default:
+		var n, pct int
+		if _, e := fmt.Sscanf(kind, "critic-len-%d", &n); e == nil {
+			q, st, err = c.buildExactLen(a, n)
+			break
+		}
+		if _, e := fmt.Sscanf(kind, "critic-frac-%d", &pct); e == nil {
+			prof := c.Profile(a, false, float64(pct)/100)
+			q, st, err = compiler.ApplyCritIC(base, prof, compiler.Options{MaxLen: 5, Switch: compiler.SwitchCDP})
+			break
+		}
+		panic("exp: unknown variant kind " + kind)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("exp: building %s/%s: %v", a.Params.Name, kind, err))
+	}
+	return q, st
+}
+
+// buildExactLen builds the Fig. 12a variant: only chains of exactly length n
+// are optimized.
+func (c *Context) buildExactLen(a workload.App, n int) (*prog.Program, compiler.Stats, error) {
+	full := c.Profile(a, false, 1)
+	filtered := &core.Profile{App: full.App, TotalDyn: full.TotalDyn}
+	for _, e := range full.Entries {
+		if e.Selected && e.Length == n {
+			filtered.Entries = append(filtered.Entries, e)
+		}
+	}
+	return compiler.ApplyCritIC(c.Program(a), filtered, compiler.Options{MaxLen: n, Switch: compiler.SwitchCDP})
+}
+
+// Measurement is one simulated window plus the artifacts the figure runners
+// consume.
+type Measurement struct {
+	Res     cpu.Result
+	Dyns    []trace.Dyn
+	Fanouts []int32
+}
+
+// Speedup returns base.Cycles / opt.Cycles as a percentage gain.
+func Speedup(base, opt *Measurement) float64 {
+	if opt.Res.Cycles == 0 {
+		return 0
+	}
+	return 100 * (float64(base.Res.Cycles)/float64(opt.Res.Cycles) - 1)
+}
+
+// Measure simulates one program under cfg over the context's measurement
+// window (with warm-up), optionally collecting per-instruction records.
+func (c *Context) Measure(p *prog.Program, cfg cpu.Config, collect bool) *Measurement {
+	g := trace.NewGenerator(p, c.Seed)
+	g.SkipArch(c.WarmupArch)
+	warm := g.GenerateArch(nil, c.WarmArch)
+	dyns := g.GenerateArch(nil, c.MeasureArch)
+
+	warmFan := dfg.Fanouts(warm, 128)
+	fan := dfg.Fanouts(dyns, 128)
+
+	cfg.CollectRecords = collect
+	s := cpu.New(cfg)
+	s.Run(warm, warmFan)
+	res := s.Run(dyns, fan)
+	return &Measurement{Res: res, Dyns: dyns, Fanouts: fan}
+}
+
+// Suites returns the three workload suites keyed as the paper labels them.
+func Suites() map[string][]workload.App {
+	return map[string][]workload.App{
+		"android":    workload.MobileApps(),
+		"spec.int":   workload.SPECIntApps(),
+		"spec.float": workload.SPECFloatApps(),
+	}
+}
+
+// SuiteOrder is the presentation order of suites.
+var SuiteOrder = []string{"spec.int", "spec.float", "android"}
+
+// forEach runs f over indices 0..n-1 in parallel and waits. Results must be
+// written to preallocated, index-addressed storage for determinism.
+func forEach(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// critBreakdown aggregates the per-stage residency of the high-fanout
+// (individually critical) instructions of a measurement.
+func (c *Context) critBreakdown(m *Measurement) (crit cpu.Breakdown, all cpu.Breakdown, critCount int) {
+	for i := range m.Res.Records {
+		b := cpu.BreakdownOf(&m.Res.Records[i])
+		all.Add(b)
+		if m.Fanouts[i] >= c.HighFanout {
+			crit.Add(b)
+			critCount++
+		}
+	}
+	return crit, all, critCount
+}

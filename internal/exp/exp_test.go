@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// testCtx returns a small context shared by the tests in this file (caching
+// makes reuse across tests cheap only within one Context).
+func testCtx() *Context {
+	c := QuickContext()
+	c.WarmupArch = 8_000
+	c.WarmArch = 10_000
+	c.MeasureArch = 30_000
+	c.ProfilePlan.Samples = 5
+	c.ProfilePlan.Length = 12_000
+	return c
+}
+
+var shared = testCtx()
+
+func TestFig1aShape(t *testing.T) {
+	r := RunFig1a(shared)
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d rows", len(r.Rows))
+	}
+	byS := map[string]Fig1aRow{}
+	for _, row := range r.Rows {
+		byS[row.Suite] = row
+	}
+	// The paper's central motivation: prefetching critical loads does far
+	// less for mobile apps than for SPEC, despite mobile having MORE
+	// critical instructions.
+	if byS["android"].PrefetchPct >= byS["spec.int"].PrefetchPct {
+		t.Errorf("prefetch: android %.2f%% >= spec.int %.2f%%", byS["android"].PrefetchPct, byS["spec.int"].PrefetchPct)
+	}
+	if byS["android"].PrefetchPct >= byS["spec.float"].PrefetchPct {
+		t.Errorf("prefetch: android %.2f%% >= spec.float %.2f%%", byS["android"].PrefetchPct, byS["spec.float"].PrefetchPct)
+	}
+	if byS["android"].CriticalFrac <= byS["spec.float"].CriticalFrac {
+		t.Errorf("critical fraction: android %.3f <= spec.float %.3f", byS["android"].CriticalFrac, byS["spec.float"].CriticalFrac)
+	}
+	if !strings.Contains(r.String(), "Fig 1a") {
+		t.Error("formatting broken")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r := RunFig10(shared)
+	if len(r.Rows) != 10 {
+		t.Fatalf("got %d rows", len(r.Rows))
+	}
+	// CritIC must clearly beat Hoist-only on average, and every app must
+	// see a positive CritIC gain.
+	if r.MeanCritIC <= r.MeanHoist {
+		t.Errorf("CritIC %.2f%% <= Hoist %.2f%%", r.MeanCritIC, r.MeanHoist)
+	}
+	if r.MeanCritIC < 1.0 {
+		t.Errorf("mean CritIC speedup %.2f%% too small", r.MeanCritIC)
+	}
+	for _, row := range r.Rows {
+		if row.CritICPct < 0 {
+			t.Errorf("%s: CritIC slowdown %.2f%%", row.App, row.CritICPct)
+		}
+	}
+	// Energy: system saving positive, CPU-only saving larger than system
+	// saving, i-cache component positive.
+	if r.MeanEnergy.TotalPct <= 0 {
+		t.Errorf("no system energy saving: %+v", r.MeanEnergy)
+	}
+	if r.MeanEnergy.CPUOnlyPct <= r.MeanEnergy.TotalPct {
+		t.Errorf("CPU-only saving %.2f%% should exceed system %.2f%%", r.MeanEnergy.CPUOnlyPct, r.MeanEnergy.TotalPct)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	r := RunFig13(shared)
+	rows := map[string]Fig13Row{}
+	for _, row := range r.Rows {
+		rows[row.Scheme] = row
+	}
+	// Fig 13b ordering: CritIC converts the least, Compress the most.
+	if rows["CritIC"].ThumbDynFrac >= rows["OPP16"].ThumbDynFrac {
+		t.Errorf("CritIC dyn-thumb %.3f >= OPP16 %.3f", rows["CritIC"].ThumbDynFrac, rows["OPP16"].ThumbDynFrac)
+	}
+	if rows["OPP16"].ThumbDynFrac >= rows["Compress"].ThumbDynFrac {
+		t.Errorf("OPP16 dyn-thumb %.3f >= Compress %.3f", rows["OPP16"].ThumbDynFrac, rows["Compress"].ThumbDynFrac)
+	}
+	// Fig 13a: the combination must beat CritIC alone.
+	if rows["OPP16+CritIC"].SpeedupPct <= rows["CritIC"].SpeedupPct {
+		t.Errorf("OPP16+CritIC %.2f%% <= CritIC %.2f%%", rows["OPP16+CritIC"].SpeedupPct, rows["CritIC"].SpeedupPct)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r := RunFig8(shared)
+	// Branch-pair switching must lose most of the potential (paper: 3% of
+	// ~14%): actual < potential across the mean.
+	if r.MeanActual >= r.MeanPotential {
+		t.Errorf("branch switch %.2f%% >= potential %.2f%%", r.MeanActual, r.MeanPotential)
+	}
+}
+
+func TestFig5bShape(t *testing.T) {
+	r := RunFig5b(shared)
+	if r.UniqueChains < 100 {
+		t.Errorf("only %d unique chains", r.UniqueChains)
+	}
+	if r.ThumbOKFrac < 0.8 || r.ThumbOKFrac > 1.0 {
+		t.Errorf("thumb-representable fraction %.3f; paper reports ~0.955", r.ThumbOKFrac)
+	}
+}
+
+func TestTables(t *testing.T) {
+	if !strings.Contains(Table1String(), "128 ROB") {
+		t.Error("Table I missing ROB size")
+	}
+	if !strings.Contains(Table2String(), "acrobat") {
+		t.Error("Table II missing apps")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(IDs()) != 21 {
+		t.Errorf("registry has %d ids", len(IDs()))
+	}
+	if _, err := Run("nope", shared); err == nil {
+		t.Error("unknown id accepted")
+	}
+	out, err := Run("tab1", shared)
+	if err != nil || out == "" {
+		t.Error("tab1 failed")
+	}
+}
+
+func TestAblateCDPOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is expensive")
+	}
+	r := RunAblateCDP(shared)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	free, bubble, branch := r.Rows[0].CritICPct, r.Rows[1].CritICPct, r.Rows[2].CritICPct
+	if free < bubble {
+		t.Errorf("free switch %.2f%% < +1 bubble %.2f%%", free, bubble)
+	}
+	if bubble <= branch {
+		t.Errorf("CDP %.2f%% <= branch-pair %.2f%%; Approach 1 must cost more", bubble, branch)
+	}
+}
+
+func TestAblateFetchScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is expensive")
+	}
+	r := RunAblateFetch(shared)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Wider port -> higher baseline IPC and smaller conversion gains.
+	if r.Rows[0].BaselineIPC >= r.Rows[2].BaselineIPC {
+		t.Errorf("IPC did not grow with port width: %.3f vs %.3f", r.Rows[0].BaselineIPC, r.Rows[2].BaselineIPC)
+	}
+	if r.Rows[0].OPP16Pct <= r.Rows[2].OPP16Pct {
+		t.Errorf("OPP16 gain did not shrink with port width: %.2f%% vs %.2f%%", r.Rows[0].OPP16Pct, r.Rows[2].OPP16Pct)
+	}
+}

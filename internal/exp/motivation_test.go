@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func rowsBySuite3(r *Fig3Result) map[string]Fig3Row {
+	m := map[string]Fig3Row{}
+	for _, row := range r.Rows {
+		m[row.Suite] = row
+	}
+	return m
+}
+
+func TestFig3Shapes(t *testing.T) {
+	r := RunFig3(shared)
+	m := rowsBySuite3(r)
+	android, sInt, sFloat := m["android"], m["spec.int"], m["spec.float"]
+
+	// 3a: mobile critical instructions are the most fetch-bound suite.
+	if android.Fetch <= sInt.Fetch || android.Fetch <= sFloat.Fetch {
+		t.Errorf("mobile fetch share %.3f not the largest (int %.3f, float %.3f)",
+			android.Fetch, sInt.Fetch, sFloat.Fetch)
+	}
+	// SPEC is back-ended: execute+commit dominates.
+	for _, s := range []Fig3Row{sInt, sFloat} {
+		if s.Execute+s.Commit < 0.5 {
+			t.Errorf("%s execute+commit %.3f; SPEC should be back-ended", s.Suite, s.Execute+s.Commit)
+		}
+	}
+	// 3b: mobile's fetch stalls are producer-side dominated.
+	if android.FStallForI <= android.FStallForRD {
+		t.Errorf("mobile F.StallForI %.3f <= F.StallForR+D %.3f", android.FStallForI, android.FStallForRD)
+	}
+	// 3c: mobile has far fewer long-latency critical instructions than SPEC.int.
+	if android.Lat4Plus >= sInt.Lat4Plus {
+		t.Errorf("mobile 4+cyc %.3f >= spec.int %.3f", android.Lat4Plus, sInt.Lat4Plus)
+	}
+	if !strings.Contains(r.String(), "Fig 3a") {
+		t.Error("formatting broken")
+	}
+}
+
+func TestFig1bShapes(t *testing.T) {
+	r := RunFig1b(shared)
+	m := map[string]Fig1bRow{}
+	for _, row := range r.Rows {
+		m[row.Suite] = row
+	}
+	android := m["android"]
+	// Mobile: a solid fraction of high-fanout members have low-fanout
+	// members between them and their next high-fanout successor.
+	gapped := android.GapFrac[1] + android.GapFrac[2] + android.GapFrac[3] +
+		android.GapFrac[4] + android.GapFrac[5]
+	if gapped < 0.15 {
+		t.Errorf("mobile gapped fraction %.3f too small", gapped)
+	}
+	// SPEC: essentially no gapped dependences; direct or none dominate.
+	for _, suite := range []string{"spec.int", "spec.float"} {
+		row := m[suite]
+		g := row.GapFrac[1] + row.GapFrac[2]
+		if g > gapped {
+			t.Errorf("%s gapped %.3f >= mobile %.3f", suite, g, gapped)
+		}
+		if row.GapFrac[0]+row.NoneFrac < 0.7 {
+			t.Errorf("%s direct+none %.3f; should dominate", suite, row.GapFrac[0]+row.NoneFrac)
+		}
+	}
+}
+
+func TestFig5aShapes(t *testing.T) {
+	r := RunFig5a(shared)
+	m := map[string]Fig5aRow{}
+	for _, row := range r.Rows {
+		m[row.Suite] = row
+	}
+	android := m["android"]
+	for _, suite := range []string{"spec.int", "spec.float"} {
+		s := m[suite]
+		if s.MaxLen <= 4*android.MaxLen {
+			t.Errorf("%s max chain %d not far beyond mobile %d", suite, s.MaxLen, android.MaxLen)
+		}
+		if s.MaxSpread <= 2*android.MaxSpread {
+			t.Errorf("%s max spread %d not far beyond mobile %d", suite, s.MaxSpread, android.MaxSpread)
+		}
+	}
+	// Mobile chains stay software-trackable (the §III-A2 argument).
+	if android.MaxLen > 64 {
+		t.Errorf("mobile max chain %d; should stay small", android.MaxLen)
+	}
+}
+
+func TestFig12aBestLengthIsFive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig12a sweep is expensive")
+	}
+	r := RunFig12a(shared)
+	if r.BestN != 5 {
+		t.Errorf("best exact chain length %d, want 5 (paper §IV-H)", r.BestN)
+	}
+	// Coverage at n>=7 collapses (chains that long are not generated).
+	for _, row := range r.Rows {
+		if row.N >= 7 && row.CoverageFrac > 0.01 {
+			t.Errorf("n=%d coverage %.3f; should be near zero", row.N, row.CoverageFrac)
+		}
+	}
+}
+
+func TestFig12bMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig12b sweep is expensive")
+	}
+	r := RunFig12b(shared)
+	if len(r.Rows) < 3 {
+		t.Fatal("too few rows")
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.SpeedupPct <= first.SpeedupPct {
+		t.Errorf("full profiling (%.2f%%) not better than %d%% profiling (%.2f%%)",
+			last.SpeedupPct, first.ProfiledPct, first.SpeedupPct)
+	}
+}
+
+func TestFig11Composition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig11 sweep is expensive")
+	}
+	r := RunFig11(shared)
+	// The paper's synergy claim: CritIC on top of each hardware mechanism
+	// improves on the mechanism alone.
+	for _, row := range r.Rows {
+		if row.WithCritICPct <= row.AlonePct {
+			t.Errorf("%s: +CritIC %.2f%% <= alone %.2f%%", row.Mech, row.WithCritICPct, row.AlonePct)
+		}
+	}
+	if r.CritICAlonePct <= 0 {
+		t.Errorf("CritIC alone %.2f%%", r.CritICAlonePct)
+	}
+}

@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment and returns its formatted report.
+type Runner func(*Context) string
+
+// registry maps experiment ids (figure/table numbers) to runners.
+var registry = map[string]Runner{
+	"fig1a":  func(c *Context) string { return RunFig1a(c).String() },
+	"fig1b":  func(c *Context) string { return RunFig1b(c).String() },
+	"fig3a":  func(c *Context) string { return RunFig3(c).String() },
+	"fig3b":  func(c *Context) string { return RunFig3(c).String() },
+	"fig3c":  func(c *Context) string { return RunFig3(c).String() },
+	"fig5a":  func(c *Context) string { return RunFig5a(c).String() },
+	"fig5b":  func(c *Context) string { return RunFig5b(c).String() },
+	"fig8":   func(c *Context) string { return RunFig8(c).String() },
+	"fig10a": func(c *Context) string { return RunFig10(c).String() },
+	"fig10b": func(c *Context) string { return RunFig10(c).String() },
+	"fig10c": func(c *Context) string { return RunFig10(c).String() },
+	"fig11a": func(c *Context) string { return RunFig11(c).String() },
+	"fig11b": func(c *Context) string { return RunFig11(c).String() },
+	"fig12a": func(c *Context) string { return RunFig12a(c).String() },
+	"fig12b": func(c *Context) string { return RunFig12b(c).String() },
+	"fig13a": func(c *Context) string { return RunFig13(c).String() },
+	"fig13b": func(c *Context) string { return RunFig13(c).String() },
+	"tab1":   func(c *Context) string { return Table1String() },
+	"tab2":   func(c *Context) string { return Table2String() },
+
+	// Ablations beyond the paper's own (DESIGN.md "Ablations called out").
+	"ablate-fetch": func(c *Context) string { return RunAblateFetch(c).String() },
+	"ablate-cdp":   func(c *Context) string { return RunAblateCDP(c).String() },
+}
+
+// IDs returns all experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, c *Context) (string, error) {
+	r, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("exp: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(c), nil
+}

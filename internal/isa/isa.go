@@ -1,0 +1,440 @@
+// Package isa defines the ARM-like instruction set used throughout the
+// reproduction: a 32-bit "A32" base format with predicated execution over 16
+// architected registers, and a compact 16-bit "T16" (Thumb) format that drops
+// predication and restricts operands to the first 11 registers (R0..R10),
+// mirroring the constraints the paper exploits (§III-B).
+//
+// The package carries only the architectural description: opcodes, register
+// names, operand shapes, execution latency classes and the Thumb
+// representability rules. Bit-level encodings live in internal/encoding, the
+// static program IR in internal/prog.
+package isa
+
+import "fmt"
+
+// Reg names one of the 16 architected registers. R13..R15 have the usual ARM
+// roles (SP, LR, PC) and are never allocated as data registers by the
+// workload generators.
+type Reg uint8
+
+// Architected registers.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // R13
+	LR // R14
+	PC // R15
+
+	NumRegs = 16
+
+	// ThumbMaxReg is the highest register usable as an operand in the
+	// 16-bit format: the T16 encoding has room for 11 registers (§III-B).
+	ThumbMaxReg = R10
+)
+
+// NoReg marks an absent operand.
+const NoReg Reg = 0xFF
+
+// String implements fmt.Stringer for registers.
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	case PC:
+		return "pc"
+	case NoReg:
+		return "-"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Cond is the predication condition of an A32 instruction. CondAL means the
+// instruction is unconditional (not predicated). Any other condition makes an
+// instruction non-representable in T16, which has no predication.
+type Cond uint8
+
+// Condition codes (a subset of ARM's).
+const (
+	CondAL Cond = iota // always — not predicated
+	CondEQ
+	CondNE
+	CondGE
+	CondLT
+	CondGT
+	CondLE
+	CondCS
+	CondCC
+
+	NumConds = 9
+)
+
+var condNames = [NumConds]string{"", "eq", "ne", "ge", "lt", "gt", "le", "cs", "cc"}
+
+// String implements fmt.Stringer for condition codes.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond%d", uint8(c))
+}
+
+// Class groups opcodes by the functional unit and latency behaviour they
+// exercise in the pipeline model.
+type Class uint8
+
+// Functional classes.
+const (
+	ClassALU    Class = iota // single-cycle integer
+	ClassShift               // single-cycle shifts/rotates
+	ClassMul                 // integer multiply
+	ClassDiv                 // integer divide (long latency)
+	ClassLoad                // memory load
+	ClassStore               // memory store
+	ClassBranch              // direct/conditional branch
+	ClassCall                // function call (BL)
+	ClassRet                 // function return (BX lr)
+	ClassFPAdd               // floating add/sub/cmp
+	ClassFPMul               // floating multiply / MLA
+	ClassFPDiv               // floating divide/sqrt (very long)
+	ClassCDP                 // the Thumb-switch coprocessor command (§IV-B)
+	ClassNop                 // padding / no-op
+	ClassSys                 // system call boundary marker
+
+	NumClasses = 15
+)
+
+var classNames = [NumClasses]string{
+	"alu", "shift", "mul", "div", "load", "store", "branch", "call", "ret",
+	"fpadd", "fpmul", "fpdiv", "cdp", "nop", "sys",
+}
+
+// String implements fmt.Stringer for classes.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class%d", uint8(c))
+}
+
+// Op is an opcode mnemonic.
+type Op uint8
+
+// Opcodes. The set is a pragmatic ARMv7-flavoured subset: enough to express
+// the dataflow/latency/encoding behaviours the evaluation depends on.
+const (
+	OpNOP Op = iota
+	OpADD
+	OpSUB
+	OpRSB // reverse subtract — no T16 encoding
+	OpAND
+	OpORR
+	OpEOR
+	OpBIC
+	OpMOV
+	OpMVN
+	OpCMP
+	OpTST
+	OpLSL
+	OpLSR
+	OpASR
+	OpROR
+	OpMUL
+	OpMLA  // multiply-accumulate — 3 sources, no T16 encoding
+	OpSDIV // no T16 encoding
+	OpUDIV // no T16 encoding
+	OpLDR
+	OpLDRB
+	OpLDRH
+	OpSTR
+	OpSTRB
+	OpSTRH
+	OpB  // branch (possibly conditional via Cond)
+	OpBL // call
+	OpBX // indirect branch / return
+	OpVADD
+	OpVSUB
+	OpVMUL
+	OpVDIV
+	OpVMLA
+	OpVLDR
+	OpVSTR
+	OpCDP // coprocessor data processing — reused as the Thumb-mode switch
+	OpSVC
+
+	NumOps = 38
+)
+
+// opInfo is the static description of one opcode.
+type opInfo struct {
+	name     string
+	class    Class
+	hasT16   bool  // a 16-bit encoding exists for this opcode
+	latency  int   // base execute latency in cycles (loads add memory time)
+	numSrc   uint8 // register source operands (before any immediate)
+	hasDst   bool
+	isMem    bool
+	isCtl    bool // redirects control flow
+	writesCC bool // condition-setting (CMP/TST)
+}
+
+var opTable = [NumOps]opInfo{
+	OpNOP:  {"nop", ClassNop, true, 1, 0, false, false, false, false},
+	OpADD:  {"add", ClassALU, true, 1, 2, true, false, false, false},
+	OpSUB:  {"sub", ClassALU, true, 1, 2, true, false, false, false},
+	OpRSB:  {"rsb", ClassALU, false, 1, 2, true, false, false, false},
+	OpAND:  {"and", ClassALU, true, 1, 2, true, false, false, false},
+	OpORR:  {"orr", ClassALU, true, 1, 2, true, false, false, false},
+	OpEOR:  {"eor", ClassALU, true, 1, 2, true, false, false, false},
+	OpBIC:  {"bic", ClassALU, true, 1, 2, true, false, false, false},
+	OpMOV:  {"mov", ClassALU, true, 1, 1, true, false, false, false},
+	OpMVN:  {"mvn", ClassALU, true, 1, 1, true, false, false, false},
+	OpCMP:  {"cmp", ClassALU, true, 1, 2, false, false, false, true},
+	OpTST:  {"tst", ClassALU, true, 1, 2, false, false, false, true},
+	OpLSL:  {"lsl", ClassShift, true, 1, 2, true, false, false, false},
+	OpLSR:  {"lsr", ClassShift, true, 1, 2, true, false, false, false},
+	OpASR:  {"asr", ClassShift, true, 1, 2, true, false, false, false},
+	OpROR:  {"ror", ClassShift, true, 1, 2, true, false, false, false},
+	OpMUL:  {"mul", ClassMul, true, 3, 2, true, false, false, false},
+	OpMLA:  {"mla", ClassMul, false, 4, 3, true, false, false, false},
+	OpSDIV: {"sdiv", ClassDiv, false, 12, 2, true, false, false, false},
+	OpUDIV: {"udiv", ClassDiv, false, 12, 2, true, false, false, false},
+	OpLDR:  {"ldr", ClassLoad, true, 1, 1, true, true, false, false},
+	OpLDRB: {"ldrb", ClassLoad, true, 1, 1, true, true, false, false},
+	OpLDRH: {"ldrh", ClassLoad, true, 1, 1, true, true, false, false},
+	OpSTR:  {"str", ClassStore, true, 1, 2, false, true, false, false},
+	OpSTRB: {"strb", ClassStore, true, 1, 2, false, true, false, false},
+	OpSTRH: {"strh", ClassStore, true, 1, 2, false, true, false, false},
+	OpB:    {"b", ClassBranch, true, 1, 0, false, false, true, false},
+	OpBL:   {"bl", ClassCall, true, 1, 0, false, false, true, false},
+	OpBX:   {"bx", ClassRet, true, 1, 1, false, false, true, false},
+	OpVADD: {"vadd", ClassFPAdd, false, 4, 2, true, false, false, false},
+	OpVSUB: {"vsub", ClassFPAdd, false, 4, 2, true, false, false, false},
+	OpVMUL: {"vmul", ClassFPMul, false, 5, 2, true, false, false, false},
+	OpVDIV: {"vdiv", ClassFPDiv, false, 15, 2, true, false, false, false},
+	OpVMLA: {"vmla", ClassFPMul, false, 6, 3, true, false, false, false},
+	OpVLDR: {"vldr", ClassLoad, false, 1, 1, true, true, false, false},
+	OpVSTR: {"vstr", ClassStore, false, 1, 2, false, true, false, false},
+	OpCDP:  {"cdp", ClassCDP, true, 1, 0, false, false, false, false},
+	OpSVC:  {"svc", ClassSys, false, 1, 0, false, false, false, false},
+}
+
+// String implements fmt.Stringer for opcodes.
+func (o Op) String() string {
+	if int(o) < len(opTable) {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// ClassOf returns the functional class of an opcode.
+func (o Op) ClassOf() Class { return opTable[o].class }
+
+// BaseLatency returns the execute latency in cycles, excluding memory time
+// for loads (the memory hierarchy adds that in the simulator).
+func (o Op) BaseLatency() int { return opTable[o].latency }
+
+// HasT16 reports whether a 16-bit encoding exists for this opcode at all.
+func (o Op) HasT16() bool { return opTable[o].hasT16 }
+
+// NumSrc returns how many register sources the opcode reads (one of them may
+// be replaced by an immediate in a given instruction).
+func (o Op) NumSrc() uint8 { return opTable[o].numSrc }
+
+// HasDst reports whether the opcode writes a destination register.
+func (o Op) HasDst() bool { return opTable[o].hasDst }
+
+// IsMem reports whether the opcode accesses data memory.
+func (o Op) IsMem() bool { return opTable[o].isMem }
+
+// IsControl reports whether the opcode can redirect control flow.
+func (o Op) IsControl() bool { return opTable[o].isCtl }
+
+// T16MaxImm is the largest unsigned immediate encodable in the 16-bit
+// format's 7-bit immediate field.
+const T16MaxImm = 127
+
+// A32MaxImm is the largest unsigned immediate encodable in the 32-bit
+// format's 12-bit immediate field.
+const A32MaxImm = 4095
+
+// CDPMaxRun is the maximum number of 16-bit instructions a single CDP
+// mode-switch command covers: a 3-bit length field encodes the count of
+// instructions following the one packed into the CDP's own 32-bit word
+// (paper §IV-B). Longer converted sequences chain additional CDP commands.
+const CDPMaxRun = 8
+
+// Inst is one static instruction. Its zero value is a NOP.
+//
+// Operand convention: Rd is the destination (NoReg when absent), Rn and Rm
+// the register sources. When HasImm is set, the immediate replaces Rm as the
+// second operand. Stores read both Rn (base address) and Rm (data).
+type Inst struct {
+	Op     Op
+	Cond   Cond // CondAL unless the instruction is predicated
+	Rd     Reg
+	Rn     Reg
+	Rm     Reg
+	Imm    int32
+	HasImm bool
+}
+
+// NewNop returns a NOP instruction.
+func NewNop() Inst {
+	return Inst{Op: OpNOP, Rd: NoReg, Rn: NoReg, Rm: NoReg}
+}
+
+// Sources appends the register sources of the instruction to dst and returns
+// it. Predicated instructions additionally depend on the condition-setting
+// producer, which the trace layer tracks separately via the CC register.
+func (in Inst) Sources(dst []Reg) []Reg {
+	info := opTable[in.Op]
+	n := int(info.numSrc)
+	// For non-memory ops an immediate replaces the Rm operand. For memory
+	// ops the immediate is the address offset; register sources are
+	// unchanged (load: base Rn; store: base Rn + data Rm).
+	if in.HasImm && !info.isMem && n > 0 {
+		n--
+	}
+	switch n {
+	case 0:
+	case 1:
+		if in.Rn != NoReg {
+			dst = append(dst, in.Rn)
+		}
+	case 2:
+		if in.Rn != NoReg {
+			dst = append(dst, in.Rn)
+		}
+		if in.Rm != NoReg {
+			dst = append(dst, in.Rm)
+		}
+	case 3:
+		if in.Rn != NoReg {
+			dst = append(dst, in.Rn)
+		}
+		if in.Rm != NoReg {
+			dst = append(dst, in.Rm)
+		}
+		if in.Rd != NoReg { // MLA/VMLA accumulate into Rd
+			dst = append(dst, in.Rd)
+		}
+	}
+	return dst
+}
+
+// Dest returns the destination register, or NoReg if the instruction does
+// not write one.
+func (in Inst) Dest() Reg {
+	if !opTable[in.Op].hasDst {
+		return NoReg
+	}
+	return in.Rd
+}
+
+// WritesCC reports whether the instruction sets the condition flags.
+func (in Inst) WritesCC() bool { return opTable[in.Op].writesCC }
+
+// ReadsCC reports whether the instruction is predicated (reads flags) or is
+// a conditional branch.
+func (in Inst) ReadsCC() bool {
+	return in.Cond != CondAL
+}
+
+// NonThumbReason explains why an instruction cannot be converted to T16.
+type NonThumbReason uint8
+
+// Reasons an instruction cannot be represented in the 16-bit format.
+const (
+	ThumbOK          NonThumbReason = iota
+	ThumbPredicated                 // predicated execution not expressible
+	ThumbHighReg                    // operand register above R10
+	ThumbNoEncoding                 // opcode has no 16-bit encoding
+	ThumbImmTooLarge                // immediate exceeds the 7-bit field
+)
+
+// String implements fmt.Stringer for NonThumbReason.
+func (r NonThumbReason) String() string {
+	switch r {
+	case ThumbOK:
+		return "ok"
+	case ThumbPredicated:
+		return "predicated"
+	case ThumbHighReg:
+		return "high-register"
+	case ThumbNoEncoding:
+		return "no-encoding"
+	case ThumbImmTooLarge:
+		return "imm-too-large"
+	default:
+		return "unknown"
+	}
+}
+
+// ThumbCheck reports whether the instruction can be represented in the
+// 16-bit format as-is — the "all or nothing" test the CritIC pass applies to
+// each member of a chain (§III-B, footnote 1). When the answer is no, the
+// returned reason says why.
+func (in Inst) ThumbCheck() NonThumbReason {
+	if in.Cond != CondAL {
+		return ThumbPredicated
+	}
+	if !opTable[in.Op].hasT16 {
+		return ThumbNoEncoding
+	}
+	for _, r := range [...]Reg{in.Rd, in.Rn, in.Rm} {
+		if r != NoReg && r > ThumbMaxReg && r != LR { // BX lr allowed: LR has a dedicated T16 form
+			return ThumbHighReg
+		}
+	}
+	if in.HasImm && (in.Imm < 0 || in.Imm > T16MaxImm) {
+		return ThumbImmTooLarge
+	}
+	return ThumbOK
+}
+
+// ThumbRepresentable reports whether ThumbCheck returns ThumbOK.
+func (in Inst) ThumbRepresentable() bool { return in.ThumbCheck() == ThumbOK }
+
+// String renders the instruction in assembler-like syntax.
+func (in Inst) String() string {
+	s := in.Op.String()
+	if in.Cond != CondAL {
+		s += in.Cond.String()
+	}
+	args := ""
+	add := func(a string) {
+		if args != "" {
+			args += ", "
+		}
+		args += a
+	}
+	if opTable[in.Op].hasDst && in.Rd != NoReg {
+		add(in.Rd.String())
+	}
+	if in.Rn != NoReg {
+		add(in.Rn.String())
+	}
+	if in.HasImm {
+		add(fmt.Sprintf("#%d", in.Imm))
+	} else if in.Rm != NoReg {
+		add(in.Rm.String())
+	}
+	if args == "" {
+		return s
+	}
+	return s + " " + args
+}

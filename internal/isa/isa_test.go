@@ -1,0 +1,191 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpTableComplete(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has no name", op)
+		}
+		if op.BaseLatency() < 1 {
+			t.Errorf("op %v has latency %d < 1", op, op.BaseLatency())
+		}
+		if op.ClassOf() >= NumClasses {
+			t.Errorf("op %v has bad class %d", op, op.ClassOf())
+		}
+	}
+}
+
+func TestClassProperties(t *testing.T) {
+	memOps := []Op{OpLDR, OpLDRB, OpLDRH, OpSTR, OpSTRB, OpSTRH, OpVLDR, OpVSTR}
+	for _, op := range memOps {
+		if !op.IsMem() {
+			t.Errorf("%v should be a memory op", op)
+		}
+	}
+	ctlOps := []Op{OpB, OpBL, OpBX}
+	for _, op := range ctlOps {
+		if !op.IsControl() {
+			t.Errorf("%v should be a control op", op)
+		}
+	}
+	if OpADD.IsMem() || OpADD.IsControl() {
+		t.Error("ADD misclassified")
+	}
+}
+
+func TestNoT16ForComplexOps(t *testing.T) {
+	// The paper's constraints: no predication and fewer registers in T16.
+	// Additionally our ISA gives no 16-bit encodings to FP, divide, and
+	// 3-source ops, mirroring real Thumb-1.
+	noT16 := []Op{OpSDIV, OpUDIV, OpMLA, OpRSB, OpVADD, OpVSUB, OpVMUL, OpVDIV, OpVMLA, OpVLDR, OpVSTR, OpSVC}
+	for _, op := range noT16 {
+		if op.HasT16() {
+			t.Errorf("%v should not have a T16 encoding", op)
+		}
+	}
+	yesT16 := []Op{OpADD, OpSUB, OpMOV, OpLDR, OpSTR, OpB, OpBL, OpMUL, OpCDP}
+	for _, op := range yesT16 {
+		if !op.HasT16() {
+			t.Errorf("%v should have a T16 encoding", op)
+		}
+	}
+}
+
+func TestThumbCheck(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Inst
+		want NonThumbReason
+	}{
+		{"plain add", Inst{Op: OpADD, Rd: R0, Rn: R1, Rm: R2}, ThumbOK},
+		{"max thumb reg", Inst{Op: OpADD, Rd: R10, Rn: R10, Rm: R10}, ThumbOK},
+		{"high dest", Inst{Op: OpADD, Rd: R11, Rn: R1, Rm: R2}, ThumbHighReg},
+		{"high source", Inst{Op: OpADD, Rd: R0, Rn: R12, Rm: R2}, ThumbHighReg},
+		{"predicated", Inst{Op: OpADD, Cond: CondEQ, Rd: R0, Rn: R1, Rm: R2}, ThumbPredicated},
+		{"no encoding", Inst{Op: OpSDIV, Rd: R0, Rn: R1, Rm: R2}, ThumbNoEncoding},
+		{"imm fits", Inst{Op: OpADD, Rd: R0, Rn: R1, HasImm: true, Imm: 127}, ThumbOK},
+		{"imm too big", Inst{Op: OpADD, Rd: R0, Rn: R1, HasImm: true, Imm: 128}, ThumbImmTooLarge},
+		{"imm negative", Inst{Op: OpSUB, Rd: R0, Rn: R1, HasImm: true, Imm: -1}, ThumbImmTooLarge},
+		{"return via lr", Inst{Op: OpBX, Rd: NoReg, Rn: LR, Rm: NoReg}, ThumbOK},
+		{"predication dominates", Inst{Op: OpSDIV, Cond: CondNE, Rd: R0, Rn: R1, Rm: R2}, ThumbPredicated},
+	}
+	for _, c := range cases {
+		if got := c.in.ThumbCheck(); got != c.want {
+			t.Errorf("%s: ThumbCheck() = %v, want %v", c.name, got, c.want)
+		}
+		if c.in.ThumbRepresentable() != (c.want == ThumbOK) {
+			t.Errorf("%s: ThumbRepresentable inconsistent with ThumbCheck", c.name)
+		}
+	}
+}
+
+func TestSources(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Inst
+		want []Reg
+	}{
+		{"add rr", Inst{Op: OpADD, Rd: R0, Rn: R1, Rm: R2}, []Reg{R1, R2}},
+		{"add imm", Inst{Op: OpADD, Rd: R0, Rn: R1, HasImm: true, Imm: 4, Rm: NoReg}, []Reg{R1}},
+		{"mov", Inst{Op: OpMOV, Rd: R0, Rn: R1, Rm: NoReg}, []Reg{R1}},
+		{"mov imm", Inst{Op: OpMOV, Rd: R0, Rn: NoReg, Rm: NoReg, HasImm: true, Imm: 7}, nil},
+		{"load", Inst{Op: OpLDR, Rd: R0, Rn: R1, Rm: NoReg, HasImm: true, Imm: 8}, []Reg{R1}},
+		{"store", Inst{Op: OpSTR, Rd: NoReg, Rn: R1, Rm: R2, HasImm: true, Imm: 8}, []Reg{R1, R2}},
+		{"mla", Inst{Op: OpMLA, Rd: R0, Rn: R1, Rm: R2}, []Reg{R1, R2, R0}},
+		{"branch", Inst{Op: OpB, Rd: NoReg, Rn: NoReg, Rm: NoReg}, nil},
+		{"ret", Inst{Op: OpBX, Rd: NoReg, Rn: LR, Rm: NoReg}, []Reg{LR}},
+	}
+	for _, c := range cases {
+		got := c.in.Sources(nil)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: Sources() = %v, want %v", c.name, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: Sources() = %v, want %v", c.name, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestDest(t *testing.T) {
+	if d := (Inst{Op: OpADD, Rd: R3, Rn: R1, Rm: R2}).Dest(); d != R3 {
+		t.Errorf("ADD dest = %v, want r3", d)
+	}
+	if d := (Inst{Op: OpSTR, Rd: NoReg, Rn: R1, Rm: R2}).Dest(); d != NoReg {
+		t.Errorf("STR dest = %v, want none", d)
+	}
+	if d := (Inst{Op: OpCMP, Rd: NoReg, Rn: R1, Rm: R2}).Dest(); d != NoReg {
+		t.Errorf("CMP dest = %v, want none", d)
+	}
+	if !(Inst{Op: OpCMP, Rn: R1, Rm: R2}).WritesCC() {
+		t.Error("CMP should write CC")
+	}
+	if !(Inst{Op: OpB, Cond: CondEQ}).ReadsCC() {
+		t.Error("conditional branch should read CC")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	in := Inst{Op: OpADD, Rd: R0, Rn: R1, HasImm: true, Imm: 42}
+	if got := in.String(); got != "add r0, r1, #42" {
+		t.Errorf("String() = %q", got)
+	}
+	in = Inst{Op: OpB, Cond: CondEQ, Rd: NoReg, Rn: NoReg, Rm: NoReg}
+	if got := in.String(); got != "beq" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := NewNop().String(); got != "nop" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: ThumbCheck is stable under the documented rules — any instruction
+// reporting ThumbOK must be unpredicated, use only low registers (or LR), and
+// have a fitting immediate.
+func TestThumbCheckProperty(t *testing.T) {
+	f := func(op uint8, cond uint8, rd, rn, rm uint8, imm int16, hasImm bool) bool {
+		in := Inst{
+			Op:     Op(op % uint8(NumOps)),
+			Cond:   Cond(cond % uint8(NumConds)),
+			Rd:     Reg(rd % 17),
+			Rn:     Reg(rn % 17),
+			Rm:     Reg(rm % 17),
+			Imm:    int32(imm),
+			HasImm: hasImm,
+		}
+		if in.Rd == 16 {
+			in.Rd = NoReg
+		}
+		if in.Rn == 16 {
+			in.Rn = NoReg
+		}
+		if in.Rm == 16 {
+			in.Rm = NoReg
+		}
+		if in.ThumbCheck() != ThumbOK {
+			return true // nothing to verify for rejected instructions
+		}
+		if in.Cond != CondAL || !in.Op.HasT16() {
+			return false
+		}
+		for _, r := range []Reg{in.Rd, in.Rn, in.Rm} {
+			if r != NoReg && r > ThumbMaxReg && r != LR {
+				return false
+			}
+		}
+		if in.HasImm && (in.Imm < 0 || in.Imm > T16MaxImm) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

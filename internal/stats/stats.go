@@ -1,0 +1,247 @@
+// Package stats provides small statistics helpers shared by the profiler,
+// the simulator and the experiment harnesses: histograms, CDFs and means.
+//
+// Everything in this package is deterministic and allocation-conscious; the
+// experiment runners call into it on hot paths (per dynamic instruction).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values are skipped (and reduce the count). Returns 0 for an
+// empty slice.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		logSum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is an integer-bucketed histogram with a catch-all overflow
+// bucket. Buckets are [0], [1], ... [Max], and values above Max land in the
+// overflow bucket.
+type Histogram struct {
+	Max      int
+	Counts   []int64
+	Overflow int64
+	Total    int64
+}
+
+// NewHistogram returns a histogram with buckets 0..max inclusive.
+func NewHistogram(max int) *Histogram {
+	return &Histogram{Max: max, Counts: make([]int64, max+1)}
+}
+
+// Add records a single observation of value v.
+func (h *Histogram) Add(v int) {
+	h.AddN(v, 1)
+}
+
+// AddN records n observations of value v.
+func (h *Histogram) AddN(v int, n int64) {
+	if v < 0 {
+		v = 0
+	}
+	if v > h.Max {
+		h.Overflow += n
+	} else {
+		h.Counts[v] += n
+	}
+	h.Total += n
+}
+
+// Frac returns the fraction of observations with value v (0 if empty).
+func (h *Histogram) Frac(v int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	if v > h.Max {
+		return float64(h.Overflow) / float64(h.Total)
+	}
+	if v < 0 {
+		return 0
+	}
+	return float64(h.Counts[v]) / float64(h.Total)
+}
+
+// CumFrac returns the fraction of observations with value <= v.
+func (h *Histogram) CumFrac(v int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	if v >= h.Max {
+		vv := int64(0)
+		for _, c := range h.Counts {
+			vv += c
+		}
+		if v == h.Max {
+			return float64(vv) / float64(h.Total)
+		}
+		return 1
+	}
+	var s int64
+	for i := 0; i <= v; i++ {
+		s += h.Counts[i]
+	}
+	return float64(s) / float64(h.Total)
+}
+
+// Merge adds all observations from o into h. Both histograms must have the
+// same Max.
+func (h *Histogram) Merge(o *Histogram) {
+	if h.Max != o.Max {
+		panic(fmt.Sprintf("stats: merging histograms with different shapes (%d vs %d)", h.Max, o.Max))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Overflow += o.Overflow
+	h.Total += o.Total
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X    float64
+	Frac float64 // fraction of mass with value <= X
+}
+
+// CDF is an empirical cumulative distribution over weighted observations.
+type CDF struct {
+	points []CDFPoint // sorted by X, built by Build
+	xs     []float64
+	ws     []float64
+	built  bool
+}
+
+// Add records one observation x with weight w.
+func (c *CDF) Add(x, w float64) {
+	c.xs = append(c.xs, x)
+	c.ws = append(c.ws, w)
+	c.built = false
+}
+
+// Build sorts and normalizes the CDF; called implicitly by accessors.
+func (c *CDF) Build() {
+	if c.built {
+		return
+	}
+	type pair struct{ x, w float64 }
+	ps := make([]pair, len(c.xs))
+	var total float64
+	for i := range c.xs {
+		ps[i] = pair{c.xs[i], c.ws[i]}
+		total += c.ws[i]
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].x < ps[j].x })
+	c.points = c.points[:0]
+	var cum float64
+	for _, p := range ps {
+		cum += p.w
+		frac := 1.0
+		if total > 0 {
+			frac = cum / total
+		}
+		c.points = append(c.points, CDFPoint{X: p.x, Frac: frac})
+	}
+	c.built = true
+}
+
+// At returns the CDF value at x: the fraction of weight with value <= x.
+func (c *CDF) At(x float64) float64 {
+	c.Build()
+	// Binary search for the last point with X <= x.
+	lo, hi := 0, len(c.points)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.points[mid].X <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return c.points[lo-1].Frac
+}
+
+// Points returns up to n evenly spaced points of the CDF for plotting.
+func (c *CDF) Points(n int) []CDFPoint {
+	c.Build()
+	if len(c.points) <= n {
+		return append([]CDFPoint(nil), c.points...)
+	}
+	out := make([]CDFPoint, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(c.points) - 1) / (n - 1)
+		out = append(out, c.points[idx])
+	}
+	return out
+}
+
+// Table renders label/value rows with fixed-point values; used by the CLI
+// experiment runners to print the paper's series.
+func Table(header string, labels []string, values []float64, unit string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", header)
+	wid := 0
+	for _, l := range labels {
+		if len(l) > wid {
+			wid = len(l)
+		}
+	}
+	for i, l := range labels {
+		fmt.Fprintf(&b, "  %-*s  %8.3f%s\n", wid, l, values[i], unit)
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %f", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("GeoMean = %f", got)
+	}
+	if got := GeoMean([]float64{2, 0, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean skipping zeros = %f", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %f", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("p100 = %f", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("p50 = %f", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("p25 = %f", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(5)
+	h.Add(0)
+	h.Add(3)
+	h.AddN(3, 2)
+	h.Add(99) // overflow
+	if h.Total != 5 {
+		t.Errorf("Total = %d", h.Total)
+	}
+	if h.Frac(3) != 0.6 {
+		t.Errorf("Frac(3) = %f", h.Frac(3))
+	}
+	if h.Frac(99) != 0.2 {
+		t.Errorf("overflow frac = %f", h.Frac(99))
+	}
+	if got := h.CumFrac(3); got != 0.8 {
+		t.Errorf("CumFrac(3) = %f", got)
+	}
+	if got := h.CumFrac(100); got != 1 {
+		t.Errorf("CumFrac(100) = %f", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(3), NewHistogram(3)
+	a.Add(1)
+	b.Add(2)
+	b.Add(5)
+	a.Merge(b)
+	if a.Total != 3 || a.Counts[1] != 1 || a.Counts[2] != 1 || a.Overflow != 1 {
+		t.Errorf("merged: %+v", a)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched merge did not panic")
+		}
+	}()
+	a.Merge(NewHistogram(7))
+}
+
+func TestCDF(t *testing.T) {
+	var c CDF
+	c.Add(1, 1)
+	c.Add(2, 1)
+	c.Add(3, 2)
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %f", got)
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Errorf("At(2) = %f", got)
+	}
+	if got := c.At(3); got != 1 {
+		t.Errorf("At(3) = %f", got)
+	}
+	pts := c.Points(2)
+	if len(pts) == 0 || pts[len(pts)-1].Frac != 1 {
+		t.Errorf("Points = %+v", pts)
+	}
+}
+
+// Property: CDF is monotone non-decreasing in x.
+func TestCDFMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		var c CDF
+		for _, x := range xs {
+			c.Add(x, 1)
+		}
+		prev := -1.0
+		for x := -10.0; x < 10; x += 0.5 {
+			v := c.At(x)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table("hdr", []string{"a", "bb"}, []float64{1, 2}, "%")
+	if out == "" || len(out) < 10 {
+		t.Errorf("Table output %q", out)
+	}
+}

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"critics/internal/isa"
+)
+
+// Trace file format: the paper's profiling phase dumps the executed
+// instruction stream for offline analysis (§III-C "Trace Collection" — their
+// instrumented disassembler wrote 100s of GBs; ours is compact). The format
+// is a little-endian binary stream:
+//
+//	magic "CRTC" | version u16 | count u64 | records...
+//
+// Each record is a fixed 48-byte struct (see writeDyn) — simple, seekable
+// and fast, at ~48 bytes per dynamic instruction.
+
+const (
+	fileMagic   = "CRTC"
+	fileVersion = 1
+	recordBytes = 48
+)
+
+// WriteTrace serializes dyns to w.
+func WriteTrace(w io.Writer, dyns []Dyn) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return err
+	}
+	var hdr [10]byte
+	binary.LittleEndian.PutUint16(hdr[0:], fileVersion)
+	binary.LittleEndian.PutUint64(hdr[2:], uint64(len(dyns)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordBytes]byte
+	for i := range dyns {
+		writeDyn(&rec, &dyns[i])
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeDyn(rec *[recordBytes]byte, d *Dyn) {
+	le := binary.LittleEndian
+	le.PutUint64(rec[0:], uint64(d.Seq))
+	le.PutUint32(rec[8:], uint32(d.ID.Func))
+	le.PutUint32(rec[12:], uint32(d.ID.Block))
+	le.PutUint32(rec[16:], uint32(d.ID.Index))
+	le.PutUint32(rec[20:], d.Addr)
+	le.PutUint64(rec[24:], uint64(d.Prod[0]))
+	// Producers 1..3 are stored as backward deltas from the consumer's own
+	// sequence number (always positive) in 16 bits; the window-local
+	// dependence structure makes this exact in practice. A sentinel of
+	// 0xFFFF means "absent", 0xFFFE "dropped" (delta overflow).
+	for k := 1; k < 4; k++ {
+		v := uint16(0xFFFF)
+		if k < int(d.NProd) {
+			delta := d.Seq - d.Prod[k]
+			if delta > 0 && delta < 0xFFFE {
+				v = uint16(delta)
+			} else {
+				v = 0xFFFE
+			}
+		}
+		le.PutUint16(rec[32+(k-1)*2:], v)
+	}
+	le.PutUint32(rec[38:], d.MemAddr)
+	rec[42] = uint8(d.Op)
+	rec[43] = uint8(d.Class)
+	rec[44] = d.Size
+	rec[45] = d.Latency
+	var flags uint8
+	if d.Thumb {
+		flags |= 1 << 0
+	}
+	if d.Expanded {
+		flags |= 1 << 1
+	}
+	if d.IsCDP {
+		flags |= 1 << 2
+	}
+	if d.IsBranch {
+		flags |= 1 << 3
+	}
+	if d.IsCond {
+		flags |= 1 << 4
+	}
+	if d.Taken {
+		flags |= 1 << 5
+	}
+	if d.IsLoad {
+		flags |= 1 << 6
+	}
+	if d.IsStore {
+		flags |= 1 << 7
+	}
+	rec[46] = flags
+	var flags2 uint8
+	if d.Overhead {
+		flags2 |= 1 << 0
+	}
+	if d.NProd > 0 {
+		flags2 |= uint8(d.NProd) << 1
+	}
+	flags2 |= uint8(d.CDPCount) << 4
+	rec[47] = flags2
+}
+
+// ReadTrace deserializes a trace written by WriteTrace. Target and ChainID
+// are not persisted (they are derivable/bookkeeping); NProd producers are
+// reconstructed from the delta encoding, dropping any producer whose delta
+// overflowed the field (marked absent on write).
+func ReadTrace(r io.Reader) ([]Dyn, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var hdr [10]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	if v := le.Uint16(hdr[0:]); v != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	count := le.Uint64(hdr[2:])
+	const maxTrace = 1 << 30
+	if count > maxTrace {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	dyns := make([]Dyn, 0, count)
+	var rec [recordBytes]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: truncated at record %d: %w", i, err)
+		}
+		dyns = append(dyns, readDyn(&rec))
+	}
+	return dyns, nil
+}
+
+func readDyn(rec *[recordBytes]byte) Dyn {
+	le := binary.LittleEndian
+	var d Dyn
+	d.Seq = int64(le.Uint64(rec[0:]))
+	d.ID.Func = int(le.Uint32(rec[8:]))
+	d.ID.Block = int(le.Uint32(rec[12:]))
+	d.ID.Index = int(le.Uint32(rec[16:]))
+	d.Addr = le.Uint32(rec[20:])
+	d.Prod[0] = int64(le.Uint64(rec[24:]))
+	d.MemAddr = le.Uint32(rec[38:])
+	if op := isa.Op(rec[42]); op < isa.NumOps {
+		d.Op = op
+	}
+	if cl := isa.Class(rec[43]); cl < isa.NumClasses {
+		d.Class = cl
+	}
+	d.Size = rec[44]
+	d.Latency = rec[45]
+	flags := rec[46]
+	d.Thumb = flags&(1<<0) != 0
+	d.Expanded = flags&(1<<1) != 0
+	d.IsCDP = flags&(1<<2) != 0
+	d.IsBranch = flags&(1<<3) != 0
+	d.IsCond = flags&(1<<4) != 0
+	d.Taken = flags&(1<<5) != 0
+	d.IsLoad = flags&(1<<6) != 0
+	d.IsStore = flags&(1<<7) != 0
+	flags2 := rec[47]
+	d.Overhead = flags2&1 != 0
+	nprod := (flags2 >> 1) & 0x7
+	d.CDPCount = flags2 >> 4
+	if nprod > 0 {
+		d.NProd = 1
+		for k := 1; k < int(nprod); k++ {
+			v := le.Uint16(rec[32+(k-1)*2:])
+			if v >= 0xFFFE {
+				continue
+			}
+			d.Prod[d.NProd] = d.Seq - int64(v)
+			d.NProd++
+		}
+	} else {
+		d.Prod[0] = 0
+	}
+	return d
+}

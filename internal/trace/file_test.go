@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	p := withOverheadProgram()
+	g := NewGenerator(p, 21)
+	g.Skip(2000)
+	dyns := g.Generate(nil, 20_000)
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, dyns); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 4+10+len(dyns)*48 {
+		t.Fatalf("file size %d unexpected", buf.Len())
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(dyns) {
+		t.Fatalf("got %d records, want %d", len(back), len(dyns))
+	}
+	for i := range dyns {
+		want := dyns[i]
+		want.Target = 0  // not persisted
+		want.ChainID = 0 // not persisted
+		got := back[i]
+		// Producer deltas beyond 16 bits are dropped on write; rebuild
+		// the comparable view.
+		if got.NProd != want.NProd {
+			// Allowed only when a delta overflowed the 16-bit field.
+			widest := int64(0)
+			for k := uint8(1); k < want.NProd; k++ {
+				if d := want.Seq - want.Prod[k]; d > widest {
+					widest = d
+				}
+			}
+			if widest < 0xFFFE {
+				t.Fatalf("record %d: NProd %d vs %d without overflow", i, got.NProd, want.NProd)
+			}
+			continue
+		}
+		for k := uint8(0); k < got.NProd; k++ {
+			if got.Prod[k] != want.Prod[k] {
+				t.Fatalf("record %d: producer %d = %d, want %d", i, k, got.Prod[k], want.Prod[k])
+			}
+		}
+		got.Prod = want.Prod // compared above (order beyond NProd is garbage)
+		if got.Seq != want.Seq || got.ID != want.ID || got.Addr != want.Addr ||
+			got.Op != want.Op || got.Class != want.Class || got.Size != want.Size ||
+			got.Thumb != want.Thumb || got.Expanded != want.Expanded ||
+			got.IsCDP != want.IsCDP || got.CDPCount != want.CDPCount ||
+			got.IsBranch != want.IsBranch || got.IsCond != want.IsCond ||
+			got.Taken != want.Taken || got.IsLoad != want.IsLoad ||
+			got.IsStore != want.IsStore || got.MemAddr != want.MemAddr ||
+			got.Latency != want.Latency || got.Overhead != want.Overhead {
+			t.Fatalf("record %d mismatch:\n got  %+v\n want %+v", i, got, want)
+		}
+	}
+}
+
+func TestTraceFileRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("NOPE123456789012345"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // corrupt version
+	if _, err := ReadTrace(bytes.NewReader(b)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestTraceFileTruncation(t *testing.T) {
+	p := loopProgram()
+	dyns := NewGenerator(p, 3).Generate(nil, 100)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, dyns); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadTrace(bytes.NewReader(b[:len(b)-10])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}

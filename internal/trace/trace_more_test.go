@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"testing"
+
+	"critics/internal/isa"
+	"critics/internal/prog"
+)
+
+// withOverheadProgram builds a program whose loop body contains a CDP-covered
+// thumb run, a mode-switch pair and an Expanded instruction.
+func withOverheadProgram() *prog.Program {
+	p := loopProgram()
+	b := p.Funcs[0].Blocks[1]
+	body := append([]prog.Instr(nil), b.Instrs...)
+	// Thumb-convert the ADD behind a CDP.
+	cdp := prog.Instr{Inst: isa.Inst{Op: isa.OpCDP, Rd: isa.NoReg, Rn: isa.NoReg, Rm: isa.NoReg}, Thumb: true, CDPCount: 1}
+	body[1].Thumb = true
+	// Mode-switch pair around it (Approach 1 shape, just for the flags).
+	pre := prog.Instr{Inst: isa.Inst{Op: isa.OpB, Rd: isa.NoReg, Rn: isa.NoReg, Rm: isa.NoReg}, ModeSwitch: true}
+	post := prog.Instr{Inst: isa.Inst{Op: isa.OpB, Rd: isa.NoReg, Rn: isa.NoReg, Rm: isa.NoReg}, ModeSwitch: true, Thumb: true}
+	// An Expanded instruction.
+	exp := prog.Instr{Inst: isa.Inst{Op: isa.OpADD, Rd: isa.R8, Rn: isa.R0, HasImm: true, Imm: 300}, Thumb: true, Expanded: true}
+	b.Instrs = append([]prog.Instr{pre, cdp, body[1], post, exp, body[0]}, body[2:]...)
+	p.Layout()
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestGenerateArchCountsArchitecturalWork(t *testing.T) {
+	p := withOverheadProgram()
+	g := NewGenerator(p, 9)
+	dyns := g.GenerateArch(nil, 10_000)
+	arch := 0
+	overhead := 0
+	for _, d := range dyns {
+		if d.Overhead {
+			overhead++
+		} else {
+			arch++
+		}
+	}
+	if arch != 10_000 {
+		t.Fatalf("architectural count %d, want 10000", arch)
+	}
+	if overhead == 0 {
+		t.Fatal("no overhead dyns in a stream with CDPs/switches/expansions")
+	}
+}
+
+func TestExpandedEmitsHelper(t *testing.T) {
+	p := withOverheadProgram()
+	dyns := NewGenerator(p, 5).Generate(nil, 2000)
+	helpers, mains := 0, 0
+	for i, d := range dyns {
+		if d.Expanded && !d.Overhead {
+			mains++
+			if i == 0 || !dyns[i-1].Overhead || dyns[i-1].Op != isa.OpMOV {
+				t.Fatalf("expanded main at %d not preceded by a helper", i)
+			}
+			if dyns[i-1].Addr != d.Addr-2 {
+				t.Fatalf("helper/main addresses %#x/%#x not adjacent halfwords", dyns[i-1].Addr, d.Addr)
+			}
+			if d.Size != 2 || dyns[i-1].Size != 2 {
+				t.Fatalf("expanded pair sizes %d/%d, want 2/2", dyns[i-1].Size, d.Size)
+			}
+		}
+		if d.Overhead && d.Op == isa.OpMOV {
+			helpers++
+		}
+	}
+	if mains == 0 || helpers != mains {
+		t.Fatalf("helpers %d, expanded mains %d", helpers, mains)
+	}
+}
+
+func TestModeSwitchDynFlags(t *testing.T) {
+	p := withOverheadProgram()
+	dyns := NewGenerator(p, 5).Generate(nil, 2000)
+	seen := 0
+	for _, d := range dyns {
+		if !d.Overhead || d.IsCDP || d.Op != isa.OpB {
+			continue
+		}
+		seen++
+		if !d.IsBranch {
+			t.Fatal("mode-switch dyn not flagged as branch")
+		}
+		if d.Taken {
+			t.Fatal("mode-switch dyn marked taken; it must fall through (no redirect)")
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no mode-switch dyns observed")
+	}
+}
+
+func TestDrawsAreOrderIndependent(t *testing.T) {
+	// Reordering instructions within a block must not change any other
+	// instruction's draws (branch outcomes, addresses): the property the
+	// A/B methodology depends on.
+	p1 := loopProgram()
+	p1.AssignUIDs()
+	p1.Layout()
+	p2 := p1.Clone()
+	// Swap the two independent middle instructions of block 1 (load and
+	// its consumer are dependent; swap CMP with store — both independent
+	// of each other? store reads r4 which CMP also reads: RAW none, fine).
+	b := p2.Funcs[0].Blocks[1]
+	b.Instrs[2], b.Instrs[3] = b.Instrs[3], b.Instrs[2]
+	p2.Layout()
+
+	d1 := NewGenerator(p1, 33).Generate(nil, 5000)
+	d2 := NewGenerator(p2, 33).Generate(nil, 5000)
+
+	// Compare per-UID event sequences: same branch outcomes, same memory
+	// addresses, independent of intra-block position.
+	type key struct {
+		uid uint32
+		n   int
+	}
+	addr1 := map[key]uint32{}
+	cnt1 := map[uint32]int{}
+	taken1 := map[key]bool{}
+	for _, d := range d1 {
+		in := p1.At(d.ID)
+		if d.IsLoad || d.IsStore {
+			cnt1[in.UID]++
+			addr1[key{in.UID, cnt1[in.UID]}] = d.MemAddr
+		}
+		if d.IsCond {
+			cnt1[in.UID]++
+			taken1[key{in.UID, cnt1[in.UID]}] = d.Taken
+		}
+	}
+	cnt2 := map[uint32]int{}
+	for _, d := range d2 {
+		in := p2.At(d.ID)
+		if d.IsLoad || d.IsStore {
+			cnt2[in.UID]++
+			if want, ok := addr1[key{in.UID, cnt2[in.UID]}]; ok && want != d.MemAddr {
+				t.Fatalf("uid %d occurrence %d: address %#x vs %#x", in.UID, cnt2[in.UID], d.MemAddr, want)
+			}
+		}
+		if d.IsCond {
+			cnt2[in.UID]++
+			if want, ok := taken1[key{in.UID, cnt2[in.UID]}]; ok && want != d.Taken {
+				t.Fatalf("uid %d occurrence %d: taken %v vs %v", in.UID, cnt2[in.UID], d.Taken, want)
+			}
+		}
+	}
+}
+
+func TestSkipArchEquivalence(t *testing.T) {
+	p := withOverheadProgram()
+	g1 := NewGenerator(p, 77)
+	g1.SkipArch(1000)
+	a := g1.GenerateArch(nil, 500)
+
+	g2 := NewGenerator(p, 77)
+	all := g2.GenerateArch(nil, 1500)
+	// Find where the 1000th architectural instruction ends.
+	arch := 0
+	idx := 0
+	for i, d := range all {
+		if !d.Overhead {
+			arch++
+		}
+		if arch == 1000 {
+			idx = i + 1
+			break
+		}
+	}
+	b := all[idx:]
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].MemAddr != b[i].MemAddr {
+			t.Fatalf("SkipArch diverges at %d", i)
+		}
+	}
+}

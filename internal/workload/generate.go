@@ -1,0 +1,536 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"critics/internal/isa"
+	"critics/internal/prog"
+)
+
+// Memory region indices used by generated programs.
+const (
+	RegionHot   = 0 // small, cache-resident working set
+	RegionCold  = 1 // large region that misses in the cache hierarchy
+	RegionChain = 2 // chain-owned heap: keeps chain loads reorderable past filler stores
+)
+
+// chainRegionBytes sizes the chain-owned heap (cache-resident).
+const chainRegionBytes = 16 << 10
+
+// Register roles (see the package comment). Chain and stable register sets
+// are class-dependent:
+//
+//   - Mobile: chains must be Thumb-representable, so all six chain registers
+//     sit at or below R7 (the T16 memory form's limit) and only R4/R5 serve
+//     as stable bases. Chains up to the profile's 5-member cap never reuse a
+//     destination, keeping CritIC hoisting free of WAR/WAW conflicts with
+//     the interleaved hub consumers.
+//   - SPEC: four stable bases (R4..R7), chains over {R0,R1,R2,R8,R9} (no
+//     representability requirement — SPEC chains are never optimized), and
+//     R3 dedicated to loop-carried accumulator chains.
+var (
+	mobileStable = []isa.Reg{isa.R4, isa.R5}
+	mobileChain  = []isa.Reg{isa.R0, isa.R1, isa.R2, isa.R3, isa.R6, isa.R7}
+	specStable   = []isa.Reg{isa.R4, isa.R5, isa.R6, isa.R7}
+	specChain    = []isa.Reg{isa.R0, isa.R1, isa.R2, isa.R8, isa.R9}
+	scratchLo    = []isa.Reg{isa.R10}
+	scratchHi    = []isa.Reg{isa.R11, isa.R12}
+)
+
+// accumReg carries SPEC-style loop-carried accumulator chains. It is written
+// by nothing else, so the chain survives across loop iterations — the source
+// of the very long, widely spread ICs of Fig. 5a's SPEC curves.
+const accumReg = isa.R3
+
+// Generate synthesizes the program for one workload. The same Params always
+// produce the identical program (seeded).
+func Generate(p Params) *prog.Program {
+	g := &gen{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+	if p.Class == Mobile {
+		g.stableRegs, g.chainRegs = mobileStable, mobileChain
+	} else {
+		g.stableRegs, g.chainRegs = specStable, specChain
+	}
+	pr := g.build()
+	pr.AssignUIDs()
+	pr.Layout()
+	if err := pr.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: generated invalid program for %s: %v", p.Name, err))
+	}
+	return pr
+}
+
+type gen struct {
+	p   Params
+	rng *rand.Rand
+
+	stableRegs []isa.Reg
+	chainRegs  []isa.Reg
+
+	scratchIdx int
+}
+
+func (g *gen) build() *prog.Program {
+	pr := &prog.Program{
+		Name:          g.p.Name,
+		Entry:         0,
+		NumMemRegions: 3,
+		RegionBytes:   []uint32{g.p.HotBytes, g.p.ColdBytes, chainRegionBytes},
+	}
+	// Function ids: 0 = main, 1..NumUtilFuncs = utilities,
+	// then the app functions.
+	numUtil := g.p.NumUtilFuncs
+	firstApp := 1 + numUtil
+	total := firstApp + g.p.NumFuncs
+
+	pr.Funcs = make([]*prog.Func, total)
+	pr.Funcs[0] = &prog.Func{ID: 0, Name: "main"}
+	for u := 0; u < numUtil; u++ {
+		pr.Funcs[1+u] = g.utilFunc(1+u, fmt.Sprintf("util%d", u))
+	}
+	for i := 0; i < g.p.NumFuncs; i++ {
+		id := firstApp + i
+		pr.Funcs[id] = g.appFunc(id, fmt.Sprintf("fn%d", i), firstApp)
+	}
+	g.buildMain(pr.Funcs[0], firstApp, total)
+	return pr
+}
+
+// buildMain creates the event-loop driver: stable-register setup, then one
+// guarded call site per app function, then return. Each guard is a
+// conditional skip with probability SkipProb, so successive event-loop
+// iterations execute a varying subset of the app's functions — the source of
+// the large, shifting i-cache footprint of mobile workloads.
+func (g *gen) buildMain(f *prog.Func, firstApp, total int) {
+	var blocks []*prog.Block
+	// Entry: write the stable registers.
+	entry := &prog.Block{ID: 0, End: prog.EndFallthrough}
+	for _, r := range g.stableRegs {
+		entry.Instrs = append(entry.Instrs, aluImm(isa.OpMOV, r, isa.NoReg, int32(g.rng.Intn(100))))
+	}
+	blocks = append(blocks, entry)
+
+	for fn := firstApp; fn < total; fn++ {
+		guard := &prog.Block{End: prog.EndCondBranch, TakenProb: g.p.SkipProb}
+		guard.Instrs = append(guard.Instrs, g.filler(nil))
+		guard.Instrs = append(guard.Instrs, cmpImm(scratchLo[0], int32(g.rng.Intn(64))))
+		guard.Instrs = append(guard.Instrs, condBranch(g.randCond()))
+		call := &prog.Block{End: prog.EndCall, Callee: fn}
+		call.Instrs = append(call.Instrs, callInstr())
+		blocks = append(blocks, guard, call)
+	}
+	exit := &prog.Block{End: prog.EndReturn}
+	exit.Instrs = append(exit.Instrs, retInstr())
+	blocks = append(blocks, exit)
+
+	// Wire ids and edges: guard at index i skips its call block.
+	for i, b := range blocks {
+		b.ID = i
+	}
+	entry.Next = 1
+	for i := 1; i < len(blocks)-1; i += 2 {
+		guard, call := blocks[i], blocks[i+1]
+		guard.Next = call.ID
+		guard.Taken = call.ID + 1 // skip the call
+		call.Next = call.ID + 1
+	}
+	f.Blocks = blocks
+}
+
+// utilFunc creates a small shared "API" function: a handful of fillers and a
+// return. Utilities are called from many sites, mimicking framework code.
+func (g *gen) utilFunc(id int, name string) *prog.Func {
+	f := &prog.Func{ID: id, Name: name}
+	b := &prog.Block{ID: 0, End: prog.EndReturn}
+	n := 3 + g.rng.Intn(6)
+	for i := 0; i < n; i++ {
+		b.Instrs = append(b.Instrs, g.filler(nil))
+	}
+	b.Instrs = append(b.Instrs, retInstr())
+	f.Blocks = []*prog.Block{b}
+	return f
+}
+
+// appFunc creates one application function: an entry block, a run of middle
+// blocks (some carrying chain patterns, one forming a loop), and an exit.
+func (g *gen) appFunc(id int, name string, firstApp int) *prog.Func {
+	f := &prog.Func{ID: id, Name: name}
+	nMid := pick(g.rng, g.p.BlocksPerFunc)
+
+	// Entry block: local setup.
+	entry := &prog.Block{ID: 0, End: prog.EndFallthrough, Next: 1}
+	for i, r := range g.chainRegs {
+		entry.Instrs = append(entry.Instrs, aluImm(isa.OpMOV, r, isa.NoReg, int32(8+4*i)))
+	}
+	entry.Instrs = append(entry.Instrs, aluImm(isa.OpMOV, accumReg, isa.NoReg, 1))
+	blocks := []*prog.Block{entry}
+
+	loopTail := 1 + g.rng.Intn(nMid) // middle block carrying the back edge
+	for m := 1; m <= nMid; m++ {
+		b := &prog.Block{ID: m}
+		withChain := g.rng.Float64() < g.p.ChainProb
+		inLoop := m <= loopTail
+		g.fillBlock(b, withChain, inLoop)
+
+		switch {
+		case m == loopTail && g.p.LoopBackPct > 0:
+			// Loop back edge to the first middle block.
+			b.Instrs = append(b.Instrs, cmpImm(g.scratch(), int32(g.rng.Intn(64))))
+			b.Instrs = append(b.Instrs, condBranch(g.randCond()))
+			b.End = prog.EndCondBranch
+			b.Taken = 1
+			b.Next = m + 1
+			b.TakenProb = g.p.LoopBackPct
+		case g.rng.Float64() < g.p.CallProb && g.p.NumUtilFuncs > 0:
+			b.Instrs = append(b.Instrs, callInstr())
+			b.End = prog.EndCall
+			b.Callee = 1 + g.rng.Intn(g.p.NumUtilFuncs)
+			b.Next = m + 1
+		case g.rng.Float64() < 0.4 && m+2 <= nMid+1 && !(inLoop && m+2 > loopTail):
+			// Forward skip over the next block; never skips out of the
+			// loop body (which would cut loop trip counts).
+			// Forward skip over the next block, mostly not taken.
+			b.Instrs = append(b.Instrs, cmpImm(g.scratch(), int32(g.rng.Intn(64))))
+			b.Instrs = append(b.Instrs, condBranch(g.randCond()))
+			b.End = prog.EndCondBranch
+			b.Taken = m + 2
+			b.Next = m + 1
+			b.TakenProb = 1 - g.p.BranchBias
+		default:
+			b.End = prog.EndFallthrough
+			b.Next = m + 1
+		}
+		blocks = append(blocks, b)
+	}
+	exit := &prog.Block{ID: nMid + 1, End: prog.EndReturn}
+	exit.Instrs = append(exit.Instrs, retInstr())
+	blocks = append(blocks, exit)
+	f.Blocks = blocks
+	return f
+}
+
+// fillBlock populates a block body with filler instructions and, optionally,
+// a chain pattern whose members are interspersed with the fillers (the
+// baseline spread the Hoist pass later removes).
+func (g *gen) fillBlock(b *prog.Block, withChain, inLoop bool) {
+	nFill := pick(g.rng, g.p.BlockLen)
+	var chain []prog.Instr
+	var hubConsumers map[int][]prog.Instr // chain position -> fillers reading the hub
+	if withChain {
+		chain, hubConsumers = g.chainPattern()
+	}
+	if g.p.LoopCarried && inLoop {
+		// SPEC-style loop-carried accumulator updates: the accumulator register circulates
+		// through stable-operand updates; dependences span iterations.
+		op := isa.OpADD
+		if g.rng.Float64() < g.p.FPFrac*1.5 {
+			op = isa.OpVADD
+		}
+		for k := 0; k < 2+g.rng.Intn(3); k++ {
+			b.Instrs = append(b.Instrs, aluReg(op, accumReg, accumReg, g.stable()))
+		}
+	}
+	// Interleave: after each chain member, its hub consumers (if any) and
+	// a few generic fillers.
+	ci := 0
+	for ci < len(chain) || nFill > 0 {
+		if ci < len(chain) {
+			member := chain[ci]
+			b.Instrs = append(b.Instrs, member)
+			for _, c := range hubConsumers[ci] {
+				b.Instrs = append(b.Instrs, c)
+			}
+			ci++
+			// Spread: a few fillers between members.
+			gap := g.rng.Intn(3)
+			for k := 0; k < gap && nFill > 0; k++ {
+				b.Instrs = append(b.Instrs, g.filler(nil))
+				nFill--
+			}
+		} else {
+			b.Instrs = append(b.Instrs, g.filler(nil))
+			nFill--
+		}
+	}
+}
+
+// chainPattern builds one CritIC-shaped dependence chain: a pointer-chase /
+// ALU path over the chain registers with hubs (high-fanout members) spaced
+// per HubSpacing, each hub's extra consumers returned for interleaving.
+func (g *gen) chainPattern() ([]prog.Instr, map[int][]prog.Instr) {
+	length := pick(g.rng, g.p.ChainLen)
+	chain := make([]prog.Instr, 0, length)
+	consumers := make(map[int][]prog.Instr)
+
+	// Rarely poison the chain for Thumb (predication or a high register),
+	// producing the ~4.5% non-representable unique chains of Fig. 5b.
+	poison := g.rng.Float64() < 0.05
+	poisonAt := g.rng.Intn(length)
+
+	nextHub := 0 // head is always a hub
+	cur := g.chainRegs[0]
+	regs := make([]isa.Reg, 0, length) // member destination registers
+	needs := make([]int, length)       // extra fanout still owed per member
+	for k := 0; k < length; k++ {
+		next := g.chainRegs[(k+1)%len(g.chainRegs)]
+		var in prog.Instr
+		switch {
+		case k == 0:
+			// Head: load off a stable base. SPEC-like workloads send a
+			// fraction of chain heads to the cold region, which is what
+			// makes critical-load prefetching pay off there (Fig. 1a).
+			cold := g.rng.Float64() < g.p.ChainColdPct
+			in = g.chainLoad(next, g.stable(), cold)
+		case g.rng.Float64() < g.p.ChainLoadPct:
+			// Pointer-chase hop within the chain heap.
+			in = g.chainLoad(next, cur, false)
+		default:
+			op := pickOp(g.rng, isa.OpADD, isa.OpSUB, isa.OpEOR, isa.OpORR, isa.OpAND)
+			in = aluReg(op, next, cur, g.stable())
+		}
+		if poison && k == poisonAt {
+			if g.rng.Intn(2) == 0 && in.Cond == isa.CondAL && !in.Op.IsControl() {
+				in.Cond = isa.CondNE // predication kills T16
+			} else {
+				in.Rd = scratchHi[0] // r11 kills T16
+				next = scratchHi[0]
+			}
+		}
+		chain = append(chain, in)
+		regs = append(regs, next)
+		if k == nextHub {
+			needs[k] = pick(g.rng, g.p.HubFanout)
+			if g.rng.Float64() < g.p.HubAdjacent {
+				nextHub = k + 1 // direct hub-to-hub dependence (SPEC-like)
+			} else {
+				nextHub = k + 1 + pick(g.rng, g.p.HubSpacing)
+			}
+		} else {
+			// Non-hub members still get a couple of consumers so their
+			// fanout beats any background filler's and greedy chain
+			// extraction follows the true chain.
+			needs[k] = 2
+		}
+		// Emit the consumers owed so far — but never at the head (k = 0):
+		// every consumer reads TWO chain-member registers, so it always
+		// has two in-flight producers and can never be mistaken for a
+		// chain link by the extractor (self-containment fails through
+		// it), and one consumer feeds two fanout counters.
+		if k > 0 {
+			for needs[k] > 0 {
+				partner := -1
+				for j := 0; j < k; j++ {
+					if needs[j] > 0 && (partner < 0 || needs[j] > needs[partner]) {
+						partner = j
+					}
+				}
+				if partner < 0 {
+					partner = k - 1 // no need left: still read a member
+				} else {
+					needs[partner]--
+				}
+				needs[k]--
+				op := pickOp(g.rng, isa.OpADD, isa.OpSUB, isa.OpEOR, isa.OpORR, isa.OpAND)
+				dst := g.scratch()
+				if g.rng.Float64() < g.p.HighRegFrac {
+					dst = scratchHi[g.rng.Intn(len(scratchHi))]
+				}
+				consumers[k] = append(consumers[k], aluReg(op, dst, regs[k], regs[partner]))
+			}
+		}
+		cur = next
+	}
+	// Drain any residual head need against the last member.
+	lastK := length - 1
+	for lastK > 0 && needs[0] > 0 {
+		needs[0]--
+		op := pickOp(g.rng, isa.OpADD, isa.OpEOR, isa.OpORR)
+		consumers[lastK] = append(consumers[lastK], aluReg(op, g.scratch(), regs[0], regs[lastK]))
+	}
+	return chain, consumers
+}
+
+// chainLoad builds a chain-member load in the chain-owned heap (or the cold
+// region for SPEC-style cold chain heads).
+func (g *gen) chainLoad(rd, base isa.Reg, cold bool) prog.Instr {
+	in := prog.Instr{Inst: isa.Inst{Op: isa.OpLDR, Rd: rd, Rn: base, Rm: isa.NoReg, HasImm: true}}
+	if cold {
+		in.MemRegion = RegionCold
+		in.MemStride = g.p.Stride
+		in.Imm = int32(g.rng.Intn(16)) * 4
+	} else {
+		in.MemRegion = RegionChain
+		in.MemStride = 0 // pointer-chase: random within the chain heap
+		in.Imm = int32(g.rng.Intn(16)) * 4
+	}
+	return in
+}
+
+// filler produces one background instruction. When readHub is non-nil the
+// filler consumes that register (it is a fanout contributor of a hub);
+// otherwise it reads stable/scratch registers. Fillers write scratch
+// registers only, so they never extend chains through the chain registers.
+func (g *gen) filler(readHub *isa.Reg) prog.Instr {
+	if readHub != nil {
+		return g.hubConsumer(*readHub)
+	}
+	r := g.rng.Float64()
+	// Fillers read stable registers (never written in-window), so the
+	// filler population carries no serial dependence chains — only the
+	// explicit chain patterns and the occasional scratch read do.
+	src := g.stable()
+	src2 := g.stable()
+	dst := g.scratch()
+	if g.rng.Float64() < g.p.HighRegFrac {
+		dst = scratchHi[g.rng.Intn(len(scratchHi))]
+	}
+	if g.rng.Float64() < 0.15 {
+		src2 = g.scratch() // a little genuine scratch reuse
+	}
+	var in prog.Instr
+	switch {
+	case r < g.p.DivFrac:
+		in = aluReg(isa.OpSDIV, dst, src, src2)
+	case r < g.p.DivFrac+g.p.FPFrac:
+		op := pickOp(g.rng, isa.OpVADD, isa.OpVMUL, isa.OpVSUB, isa.OpVMLA)
+		in = aluReg(op, dst, src, src2)
+	case r < g.p.DivFrac+g.p.FPFrac+g.p.LoadFrac:
+		cold := g.rng.Float64() < g.p.ColdFrac
+		in = g.memInstr(pickOp(g.rng, isa.OpLDR, isa.OpLDR, isa.OpLDRB, isa.OpLDRH), dst, g.stable(), cold)
+	case r < g.p.DivFrac+g.p.FPFrac+g.p.LoadFrac+g.p.StoreFrac:
+		cold := g.rng.Float64() < g.p.ColdFrac
+		in = g.storeInstr(src, cold)
+	default:
+		op := pickOp(g.rng, isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpORR, isa.OpEOR, isa.OpLSL, isa.OpLSR, isa.OpMUL, isa.OpMOV, isa.OpMVN)
+		if g.rng.Float64() < 0.4 {
+			imm := int32(g.rng.Intn(64))
+			if g.rng.Float64() < g.p.BigImmFrac {
+				imm = 200 + int32(g.rng.Intn(3000))
+			}
+			if op == isa.OpMOV || op == isa.OpMVN {
+				in = aluImm(op, dst, isa.NoReg, imm)
+			} else {
+				in = aluImm(op, dst, src, imm)
+			}
+		} else {
+			in = aluReg(op, dst, src, src2)
+			if op == isa.OpMOV || op == isa.OpMVN {
+				in.Rm = isa.NoReg
+			}
+		}
+	}
+	if in.Cond == isa.CondAL && g.rng.Float64() < g.p.PredFrac && !in.Op.IsControl() {
+		in.Cond = g.randCond()
+	}
+	return in
+}
+
+// hubConsumer builds one consumer of a hub value. Consumers either read the
+// hub through a two-source ALU op (two in-flight producers, so chain
+// extraction can never walk into them) or store the hub value (an eligible
+// but Thumb-representable chain tail). Loads never consume hubs directly:
+// a one-source load would be an eligible, possibly non-representable chain
+// extension and would dilute the CritIC population.
+func (g *gen) hubConsumer(hub isa.Reg) prog.Instr {
+	if g.rng.Float64() < 0.15 {
+		in := g.storeInstr(hub, false)
+		if hub > isa.R7 {
+			in.Rm = scratchLo[0] // SPEC high chain regs: store scratch instead
+		}
+		return in
+	}
+	dst := g.scratch()
+	if g.rng.Float64() < g.p.HighRegFrac {
+		dst = scratchHi[g.rng.Intn(len(scratchHi))]
+	}
+	if g.rng.Float64() < g.p.FPFrac {
+		return aluReg(pickOp(g.rng, isa.OpVADD, isa.OpVMUL), dst, hub, scratchLo[0])
+	}
+	return aluReg(pickOp(g.rng, isa.OpADD, isa.OpSUB, isa.OpEOR, isa.OpORR, isa.OpAND, isa.OpMUL), dst, hub, scratchLo[0])
+}
+
+// memInstr builds a load. Hot loads use small word offsets (T16-friendly);
+// cold loads target the cold region with the workload's stride.
+func (g *gen) memInstr(op isa.Op, rd, base isa.Reg, cold bool) prog.Instr {
+	in := prog.Instr{Inst: isa.Inst{Op: op, Rd: rd, Rn: base, Rm: isa.NoReg, HasImm: true}}
+	if cold {
+		in.MemRegion = RegionCold
+		in.MemStride = g.p.Stride
+		in.Imm = int32(g.rng.Intn(256)) * 4
+	} else {
+		in.MemRegion = RegionHot
+		in.MemStride = 4 * int32(1+g.rng.Intn(4))
+		if op == isa.OpLDR {
+			in.Imm = int32(g.rng.Intn(16)) * 4
+		} else {
+			in.Imm = int32(g.rng.Intn(16))
+		}
+	}
+	return in
+}
+
+// storeInstr builds a store of src.
+func (g *gen) storeInstr(src isa.Reg, cold bool) prog.Instr {
+	in := prog.Instr{Inst: isa.Inst{Op: isa.OpSTR, Rd: isa.NoReg, Rn: g.stable(), Rm: src, HasImm: true}}
+	if cold {
+		in.MemRegion = RegionCold
+		in.MemStride = g.p.Stride
+		in.Imm = int32(g.rng.Intn(256)) * 4
+	} else {
+		in.MemRegion = RegionHot
+		in.MemStride = 4 * int32(1+g.rng.Intn(4))
+		in.Imm = int32(g.rng.Intn(16)) * 4
+	}
+	return in
+}
+
+func (g *gen) stable() isa.Reg {
+	return g.stableRegs[g.rng.Intn(len(g.stableRegs))]
+}
+
+func (g *gen) scratch() isa.Reg {
+	g.scratchIdx++
+	return scratchLo[g.scratchIdx%len(scratchLo)]
+}
+
+func (g *gen) randCond() isa.Cond {
+	return isa.Cond(1 + g.rng.Intn(int(isa.NumConds)-1))
+}
+
+// Small instruction constructors.
+
+func aluReg(op isa.Op, rd, rn, rm isa.Reg) prog.Instr {
+	return prog.Instr{Inst: isa.Inst{Op: op, Rd: rd, Rn: rn, Rm: rm}}
+}
+
+func aluImm(op isa.Op, rd, rn isa.Reg, imm int32) prog.Instr {
+	return prog.Instr{Inst: isa.Inst{Op: op, Rd: rd, Rn: rn, Rm: isa.NoReg, HasImm: true, Imm: imm}}
+}
+
+func cmpImm(rn isa.Reg, imm int32) prog.Instr {
+	return prog.Instr{Inst: isa.Inst{Op: isa.OpCMP, Rd: isa.NoReg, Rn: rn, Rm: isa.NoReg, HasImm: true, Imm: imm}}
+}
+
+func condBranch(c isa.Cond) prog.Instr {
+	return prog.Instr{Inst: isa.Inst{Op: isa.OpB, Cond: c, Rd: isa.NoReg, Rn: isa.NoReg, Rm: isa.NoReg}}
+}
+
+func callInstr() prog.Instr {
+	return prog.Instr{Inst: isa.Inst{Op: isa.OpBL, Rd: isa.NoReg, Rn: isa.NoReg, Rm: isa.NoReg}}
+}
+
+func retInstr() prog.Instr {
+	return prog.Instr{Inst: isa.Inst{Op: isa.OpBX, Rd: isa.NoReg, Rn: isa.LR, Rm: isa.NoReg}}
+}
+
+func pick(rng *rand.Rand, r [2]int) int {
+	if r[1] <= r[0] {
+		return r[0]
+	}
+	return r[0] + rng.Intn(r[1]-r[0]+1)
+}
+
+func pickOp(rng *rand.Rand, ops ...isa.Op) isa.Op {
+	return ops[rng.Intn(len(ops))]
+}

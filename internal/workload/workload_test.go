@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"testing"
+
+	"critics/internal/dfg"
+	"critics/internal/isa"
+	"critics/internal/trace"
+)
+
+func TestCatalogShape(t *testing.T) {
+	mobile, sint, sfloat := MobileApps(), SPECIntApps(), SPECFloatApps()
+	if len(mobile) != 10 {
+		t.Errorf("mobile catalog has %d apps, want 10 (Table II)", len(mobile))
+	}
+	if len(sint) != 8 || len(sfloat) != 8 {
+		t.Errorf("SPEC catalogs: %d int, %d float, want 8 each", len(sint), len(sfloat))
+	}
+	names := map[string]bool{}
+	for _, set := range [][]App{mobile, sint, sfloat} {
+		for _, a := range set {
+			if names[a.Params.Name] {
+				t.Errorf("duplicate app name %q", a.Params.Name)
+			}
+			names[a.Params.Name] = true
+			if a.Params.Seed == 0 {
+				t.Errorf("%s has no seed", a.Params.Name)
+			}
+		}
+	}
+	for _, want := range []string{"acrobat", "youtube", "mcf", "lbm"} {
+		if _, ok := FindApp(want); !ok {
+			t.Errorf("FindApp(%q) failed", want)
+		}
+	}
+	if _, ok := FindApp("doom"); ok {
+		t.Error("FindApp invented an app")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MobileApps()[0]
+	p1 := Generate(a.Params)
+	p2 := Generate(a.Params)
+	if p1.CodeBytes != p2.CodeBytes || p1.NumInstrs() != p2.NumInstrs() {
+		t.Fatal("generation is not deterministic")
+	}
+	d1 := trace.NewGenerator(p1, 1).Generate(nil, 2000)
+	d2 := trace.NewGenerator(p2, 1).Generate(nil, 2000)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("trace diverges at %d", i)
+		}
+	}
+}
+
+func TestMobileFootprintExceedsICache(t *testing.T) {
+	for _, a := range MobileApps() {
+		p := Generate(a.Params)
+		if p.CodeBytes < 40<<10 {
+			t.Errorf("%s: code %d bytes; mobile apps should dwarf the 32KB i-cache", a.Params.Name, p.CodeBytes)
+		}
+	}
+}
+
+func TestSPECFootprintFitsCache(t *testing.T) {
+	for _, a := range append(SPECIntApps(), SPECFloatApps()...) {
+		p := Generate(a.Params)
+		if p.CodeBytes > 48<<10 {
+			t.Errorf("%s: code %d bytes; SPEC hot code should be near cache-resident", a.Params.Name, p.CodeBytes)
+		}
+	}
+}
+
+// traceOf returns a dynamic window for an app.
+func traceOf(t *testing.T, a App, n int) []trace.Dyn {
+	t.Helper()
+	p := Generate(a.Params)
+	g := trace.NewGenerator(p, a.Params.Seed)
+	g.Skip(5000)
+	return g.Generate(nil, n)
+}
+
+func TestMobileChainStructure(t *testing.T) {
+	a := MobileApps()[0] // acrobat
+	dyns := traceOf(t, a, 60_000)
+
+	opt := dfg.DefaultOptions()
+	chains := dfg.Extract(dyns, opt)
+	if len(chains) == 0 {
+		t.Fatal("no chains extracted")
+	}
+	ls := dfg.MeasureLengthSpread(chains)
+	if ls.MaxLen > 64 {
+		t.Errorf("mobile max chain length %d; paper reports <= ~20", ls.MaxLen)
+	}
+	if ls.MaxSpread > 2000 {
+		t.Errorf("mobile max chain spread %d; paper reports <= ~540", ls.MaxSpread)
+	}
+
+	// There must be a solid population of chains above the criticality
+	// threshold.
+	crit := 0
+	for i := range chains {
+		if chains[i].AvgFanout() >= 8 {
+			crit++
+		}
+	}
+	if crit < len(chains)/50 {
+		t.Errorf("only %d/%d chains reach avg fanout 8", crit, len(chains))
+	}
+}
+
+func TestMobileCriticalFractionExceedsSPEC(t *testing.T) {
+	mob := traceOf(t, MobileApps()[0], 40_000)
+	spec := traceOf(t, SPECFloatApps()[1], 40_000) // namd
+
+	fm := dfg.CriticalFraction(dfg.Fanouts(mob, 128), 8)
+	fs := dfg.CriticalFraction(dfg.Fanouts(spec, 128), 8)
+	if fm <= fs {
+		t.Errorf("critical fraction mobile %.4f <= spec %.4f; Fig 1a wants mobile higher", fm, fs)
+	}
+	if fm < 0.01 {
+		t.Errorf("mobile critical fraction %.4f implausibly low", fm)
+	}
+}
+
+func TestFig1bGapStructure(t *testing.T) {
+	// Mobile: high-fanout members in chains are separated by 1..5
+	// low-fanout members most of the time; SPEC chains are mostly
+	// hub-to-hub or have no dependent second hub.
+	mob := traceOf(t, MobileApps()[3], 40_000)
+	chainsM := dfg.Extract(mob, dfg.DefaultOptions())
+	fanM := dfg.Fanouts(mob, 128)
+	gm := dfg.HighFanoutGaps(chainsM, fanM, 8, 8)
+
+	withGaps := gm.Gaps.Total - gm.Gaps.Counts[0]
+	if gm.Gaps.Total == 0 || withGaps == 0 {
+		t.Fatalf("mobile gap histogram empty: %+v", gm.Gaps)
+	}
+	frac1to5 := 0.0
+	for k := 1; k <= 5; k++ {
+		frac1to5 += gm.Gaps.Frac(k)
+	}
+	if frac1to5 < 0.3 {
+		t.Errorf("mobile 1..5-gap fraction %.3f; Fig 1b reports ~52%% of chains in this range", frac1to5)
+	}
+
+	spec := traceOf(t, SPECIntApps()[0], 40_000)
+	chainsS := dfg.Extract(spec, dfg.Options{ChunkSize: 8192, FanoutWindow: 128, MinLen: 2})
+	fanS := dfg.Fanouts(spec, 128)
+	gs := dfg.HighFanoutGaps(chainsS, fanS, 8, 8)
+	// SPEC: direct dependence (gap 0) plus "none" dominate.
+	specDirect := gs.Gaps.Frac(0)
+	mobDirect := gm.Gaps.Frac(0)
+	if specDirect <= mobDirect {
+		t.Errorf("SPEC direct hub-to-hub %.3f <= mobile %.3f; Fig 1b wants SPEC more direct", specDirect, mobDirect)
+	}
+}
+
+func TestSPECChainsLongerThanMobile(t *testing.T) {
+	mob := traceOf(t, MobileApps()[0], 40_000)
+	spec := traceOf(t, SPECFloatApps()[0], 40_000)
+
+	bigOpt := dfg.Options{ChunkSize: 8192, FanoutWindow: 128, MinLen: 2}
+	lm := dfg.MeasureLengthSpread(dfg.Extract(mob, bigOpt))
+	lspec := dfg.MeasureLengthSpread(dfg.Extract(spec, bigOpt))
+	if lspec.MaxLen <= lm.MaxLen {
+		t.Errorf("SPEC max chain %d <= mobile %d; Fig 5a wants SPEC far longer", lspec.MaxLen, lm.MaxLen)
+	}
+	if lspec.MaxSpread <= lm.MaxSpread {
+		t.Errorf("SPEC max spread %d <= mobile %d", lspec.MaxSpread, lm.MaxSpread)
+	}
+}
+
+func TestLatencyMix(t *testing.T) {
+	// Fig 3c: mobile has far fewer long-latency instructions than SPEC.float.
+	longFrac := func(dyns []trace.Dyn) float64 {
+		long := 0
+		for _, d := range dyns {
+			if d.Latency > 2 {
+				long++
+			}
+		}
+		return float64(long) / float64(len(dyns))
+	}
+	mob := longFrac(traceOf(t, MobileApps()[4], 30_000))
+	flt := longFrac(traceOf(t, SPECFloatApps()[1], 30_000))
+	if mob >= flt {
+		t.Errorf("long-latency fraction mobile %.3f >= spec.float %.3f", mob, flt)
+	}
+	if mob > 0.10 {
+		t.Errorf("mobile long-latency fraction %.3f too high", mob)
+	}
+}
+
+func TestInstructionMixSanity(t *testing.T) {
+	dyns := traceOf(t, MobileApps()[2], 30_000)
+	var loads, stores, branches, calls, preds int
+	for _, d := range dyns {
+		switch {
+		case d.IsLoad:
+			loads++
+		case d.IsStore:
+			stores++
+		}
+		if d.IsBranch {
+			branches++
+		}
+		if d.Op == isa.OpBL {
+			calls++
+		}
+		if d.Class == isa.ClassALU && !d.IsBranch {
+			// predication counted below via static check
+		}
+		_ = preds
+	}
+	n := len(dyns)
+	if loads < n/20 || loads > n/2 {
+		t.Errorf("load fraction %.3f out of plausible range", float64(loads)/float64(n))
+	}
+	if branches < n/50 {
+		t.Errorf("branch fraction %.3f too low", float64(branches)/float64(n))
+	}
+	if calls == 0 {
+		t.Error("no calls in a mobile trace")
+	}
+}
+
+func TestValidatesAndLaysOutAllApps(t *testing.T) {
+	for _, set := range [][]App{MobileApps(), SPECIntApps(), SPECFloatApps()} {
+		for _, a := range set {
+			p := Generate(a.Params)
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s: %v", a.Params.Name, err)
+			}
+			if !p.LaidOut() {
+				t.Errorf("%s: not laid out", a.Params.Name)
+			}
+		}
+	}
+}

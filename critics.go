@@ -97,6 +97,13 @@ func WithMeasureInstrs(n int) Option {
 	return func(c *exp.Context) { c.MeasureArch = n }
 }
 
+// WithWorkers bounds the worker pool experiments shard their per-app work
+// over. 0 selects GOMAXPROCS; 1 forces the serial reference schedule.
+// Results are bit-identical for every value.
+func WithWorkers(n int) Option {
+	return func(c *exp.Context) { c.Workers = n }
+}
+
 // newCtx builds a context with options applied.
 func newCtx(opts ...Option) *exp.Context {
 	c := exp.NewContext()
@@ -129,8 +136,8 @@ func OptimizeApp(name string, opts ...Option) (*Report, error) {
 	prof := ctx.Profile(app, false, 1)
 	optimized, st := ctx.Variant(app, exp.VarCritIC)
 
-	mBase := ctx.Measure(base, cpu.DefaultConfig(), false)
-	mOpt := ctx.Measure(optimized, cpu.DefaultConfig(), false)
+	mBase := ctx.MeasureVariant(app, exp.VarBase, cpu.DefaultConfig(), false)
+	mOpt := ctx.MeasureVariant(app, exp.VarCritIC, cpu.DefaultConfig(), false)
 
 	eBase := energy.Compute(&mBase.Res, energy.DefaultConfig())
 	eOpt := energy.Compute(&mOpt.Res, energy.DefaultConfig())
@@ -184,6 +191,11 @@ func (s *Session) Experiment(id string) (string, error) {
 // Context exposes the underlying experiment context for advanced use from
 // within this module (examples, benchmarks).
 func (s *Session) Context() *exp.Context { return s.ctx }
+
+// CacheStats reports the session's memo-cache hit/miss counters: how often
+// programs, profiles, compiled variants and measurements were reused across
+// the experiments run so far.
+func (s *Session) CacheStats() exp.CacheStats { return s.ctx.CacheStats() }
 
 // ExperimentIDs lists the available experiment ids.
 func ExperimentIDs() []string { return exp.IDs() }

@@ -1,0 +1,37 @@
+package binimg
+
+import (
+	"testing"
+
+	"critics/internal/workload"
+)
+
+// FuzzDecode runs the streaming image decoder over arbitrary bytes: the
+// format state machine (A32 words, CDP-counted Thumb runs, Approach-1
+// thumb-until-branch runs, alignment padding) must reject garbage with an
+// error, never a panic or an out-of-bounds access.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	// A real assembled image as the structured seed.
+	apps := workload.MobileApps()
+	p := workload.Generate(apps[0].Params)
+	if img, err := Assemble(p); err == nil {
+		if len(img) > 4096 {
+			img = img[:4096]
+		}
+		f.Add(img)
+	}
+	f.Fuzz(func(t *testing.T, img []byte) {
+		decoded, err := Decode(img)
+		if err != nil {
+			return
+		}
+		// Every decoded element must lie within the image.
+		for _, d := range decoded {
+			if int(d.Addr) >= len(img) {
+				t.Fatalf("decoded element at %#x beyond image length %d", d.Addr, len(img))
+			}
+		}
+	})
+}

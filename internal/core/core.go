@@ -28,6 +28,7 @@ import (
 	"critics/internal/dfg"
 	"critics/internal/encoding"
 	"critics/internal/prog"
+	"critics/internal/sched"
 	"critics/internal/stats"
 	"critics/internal/trace"
 )
@@ -67,6 +68,12 @@ type Config struct {
 	// during *selection*. The CritIC.Ideal configuration keeps them
 	// (hypothetically converting everything, Fig. 5b / §IV-D).
 	RequireThumb bool
+
+	// Workers bounds the worker pool used to extract chains from the
+	// profiled windows in parallel. 0 or 1 keeps the serial reference
+	// schedule. The profile is bit-identical for every value: windows are
+	// extracted independently and merged in window index order.
+	Workers int
 }
 
 // DefaultConfig returns the paper's operating point.
@@ -165,9 +172,17 @@ func BuildProfile(pr *prog.Program, windows []trace.Window, cfg Config) *Profile
 		MaxLen:       cfg.MaxLen,
 		MinLen:       cfg.MinLen,
 	}
-	for _, w := range windows {
+	// Chain extraction is independent per window, so it is sharded over the
+	// worker pool; the order-sensitive reduction below (map updates and
+	// float accumulation into fanoutSum) runs serially in window index
+	// order, keeping the profile bit-identical for every worker count.
+	perWindow := make([][]dfg.Chain, len(windows))
+	sched.NewPool(max(cfg.Workers, 1)).Map(len(windows), func(i int) {
+		perWindow[i] = dfg.Extract(windows[i].Dyns, opt)
+	})
+	for wi, w := range windows {
 		totalDyn += int64(len(w.Dyns))
-		chains := dfg.Extract(w.Dyns, opt)
+		chains := perWindow[wi]
 		for i := range chains {
 			c := &chains[i]
 			if c.AvgFanout() < cfg.AvgFanoutThreshold {

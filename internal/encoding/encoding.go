@@ -57,6 +57,9 @@ func EncodeA32(in isa.Inst) (uint32, error) {
 	if in.HasImm && (in.Imm < 0 || in.Imm > isa.A32MaxImm) {
 		return 0, fmt.Errorf("encoding: immediate %d does not fit unsigned imm12", in.Imm)
 	}
+	if !operandsPresent(in) {
+		return 0, fmt.Errorf("encoding: %v is missing a required operand", in)
+	}
 	var w uint32
 	w |= uint32(in.Cond&0xF) << 28
 	w |= uint32(in.Op&0x7F) << 20
@@ -85,6 +88,27 @@ func EncodeA32(in isa.Inst) (uint32, error) {
 // isStore reports whether the opcode is a memory store.
 func isStore(op isa.Op) bool {
 	return op.IsMem() && !op.HasDst()
+}
+
+// operandsPresent reports whether in carries every register operand its
+// opcode shape requires (the same shape normalize reconstructs on decode).
+// An absent required operand would encode as field 0 and silently alias R0
+// on decode, so the encoders reject such malformed instructions instead.
+func operandsPresent(in isa.Inst) bool {
+	if in.Op.HasDst() && in.Rd == isa.NoReg {
+		return false
+	}
+	nsrc := int(in.Op.NumSrc())
+	if in.HasImm && !in.Op.IsMem() && nsrc > 0 {
+		nsrc--
+	}
+	if nsrc >= 1 && in.Rn == isa.NoReg {
+		return false
+	}
+	if nsrc >= 2 && !(in.HasImm && !in.Op.IsMem()) && in.Rm == isa.NoReg {
+		return false
+	}
+	return true
 }
 
 // DecodeA32 decodes a 32-bit word back into an instruction.
@@ -195,6 +219,9 @@ func EncodeT16(in isa.Inst) (uint16, error) {
 	}
 	if in.Op == isa.OpBX && in.Rn != isa.LR {
 		return 0, fmt.Errorf("encoding: T16 BX supports only the LR operand, got %v", in.Rn)
+	}
+	if !operandsPresent(in) {
+		return 0, fmt.Errorf("encoding: %v is missing a required operand", in)
 	}
 	if in.HasImm {
 		return encodeT16Imm(in, opIdx)
@@ -366,6 +393,12 @@ func Representable(in isa.Inst) bool {
 		return false
 	}
 	if in.Op == isa.OpCDP {
+		return false
+	}
+	if in.Op == isa.OpBX && in.Rn != isa.LR {
+		return false // only BX LR has a T16 form
+	}
+	if !operandsPresent(in) {
 		return false
 	}
 	if in.HasImm {

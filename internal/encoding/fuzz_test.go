@@ -1,0 +1,148 @@
+package encoding
+
+import (
+	"testing"
+
+	"critics/internal/isa"
+)
+
+// FuzzDecodeA32 exercises the 32-bit decoder on arbitrary words: it must
+// never panic, and any word it accepts must re-encode and decode back to the
+// same (normalized) instruction.
+func FuzzDecodeA32(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xFFFFFFFF))
+	if w, err := EncodeA32(isa.Inst{Op: isa.OpADD, Rd: isa.R1, Rn: isa.R2, Rm: isa.R3}); err == nil {
+		f.Add(w)
+	}
+	if w, err := EncodeA32(isa.Inst{Op: isa.OpLDR, Rd: isa.R4, Rn: isa.R5, HasImm: true, Imm: 128}); err == nil {
+		f.Add(w)
+	}
+	if w, err := EncodeA32(isa.Inst{Op: isa.OpSTR, Rn: isa.R6, Rm: isa.R7, HasImm: true, Imm: 4}); err == nil {
+		f.Add(w)
+	}
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := DecodeA32(w)
+		if err != nil {
+			return
+		}
+		w2, err := EncodeA32(in)
+		if err != nil {
+			t.Fatalf("decoded %#08x to %+v, which does not re-encode: %v", w, in, err)
+		}
+		in2, err := DecodeA32(w2)
+		if err != nil {
+			t.Fatalf("re-encoded %#08x -> %#08x does not decode: %v", w, w2, err)
+		}
+		if in2 != in {
+			t.Fatalf("decode(%#08x) = %+v but decode(encode(...)) = %+v", w, in, in2)
+		}
+	})
+}
+
+// FuzzDecodeT16 exercises the 16-bit decoder (and the CDP command decoder)
+// on arbitrary halfwords: never panic; accepted halfwords that the encoder
+// can reproduce must round-trip to the same instruction.
+func FuzzDecodeT16(f *testing.F) {
+	f.Add(uint16(0))
+	f.Add(uint16(0xFFFF))
+	if w, err := EncodeT16(isa.Inst{Op: isa.OpADD, Rd: isa.R1, Rn: isa.R2, Rm: isa.R3}); err == nil {
+		f.Add(w)
+	}
+	if w, err := EncodeT16(isa.Inst{Op: isa.OpMOV, Rd: isa.R1, HasImm: true, Imm: 100}); err == nil {
+		f.Add(w)
+	}
+	if w, err := EncodeCDP(3); err == nil {
+		f.Add(w)
+	}
+	f.Fuzz(func(t *testing.T, w uint16) {
+		if IsCDP(w) {
+			cdp, err := DecodeCDP(w)
+			if err != nil {
+				t.Fatalf("IsCDP(%#04x) but DecodeCDP failed: %v", w, err)
+			}
+			if cdp.Count < 1 || cdp.Count > isa.CDPMaxRun {
+				t.Fatalf("DecodeCDP(%#04x) count %d out of range", w, cdp.Count)
+			}
+			w2, err := EncodeCDP(cdp.Count)
+			if err != nil {
+				t.Fatalf("CDP count %d does not re-encode: %v", cdp.Count, err)
+			}
+			if cdp2, _ := DecodeCDP(w2); cdp2 != cdp {
+				t.Fatalf("CDP round trip: %+v -> %+v", cdp, cdp2)
+			}
+			return
+		}
+		in, err := DecodeT16(w)
+		if err != nil {
+			return
+		}
+		// Some decodable halfwords fall outside the encoder's accepted
+		// space (e.g. register codes past ThumbMaxReg in the packed field);
+		// for the rest, the round trip must be exact.
+		w2, err := EncodeT16(in)
+		if err != nil {
+			return
+		}
+		in2, err := DecodeT16(w2)
+		if err != nil {
+			t.Fatalf("re-encoded %#04x -> %#04x does not decode: %v", w, w2, err)
+		}
+		if in2 != in {
+			t.Fatalf("decode(%#04x) = %+v but decode(encode(...)) = %+v", w, in, in2)
+		}
+	})
+}
+
+// FuzzEncodeRoundTrip drives the encoders from the instruction side: any
+// instruction EncodeA32 accepts must decode back to its normalized self, and
+// any Representable instruction must survive the T16 round trip.
+func FuzzEncodeRoundTrip(f *testing.F) {
+	f.Add(uint8(isa.OpADD), uint8(isa.CondAL), int8(1), int8(2), int8(3), false, int32(0))
+	f.Add(uint8(isa.OpLDR), uint8(isa.CondAL), int8(0), int8(1), int8(-1), true, int32(8))
+	f.Add(uint8(isa.OpSTRB), uint8(isa.CondAL), int8(-1), int8(2), int8(3), true, int32(7))
+	f.Add(uint8(isa.OpB), uint8(isa.CondEQ), int8(-1), int8(-1), int8(-1), true, int32(64))
+	f.Fuzz(func(t *testing.T, op, cond uint8, rd, rn, rm int8, hasImm bool, imm int32) {
+		reg := func(v int8) isa.Reg {
+			if v < 0 {
+				return isa.NoReg
+			}
+			return isa.Reg(v) % isa.NumRegs
+		}
+		in := isa.Inst{
+			Op:     isa.Op(op),
+			Cond:   isa.Cond(cond),
+			Rd:     reg(rd),
+			Rn:     reg(rn),
+			Rm:     reg(rm),
+			HasImm: hasImm,
+			Imm:    imm,
+		}
+		if in.Op >= isa.NumOps || in.Cond >= isa.NumConds {
+			return
+		}
+		in = Normalize(in)
+		if w, err := EncodeA32(in); err == nil {
+			got, err := DecodeA32(w)
+			if err != nil {
+				t.Fatalf("EncodeA32(%+v) = %#08x, which does not decode: %v", in, w, err)
+			}
+			if got != in {
+				t.Fatalf("A32 round trip: %+v -> %+v", in, got)
+			}
+		}
+		if Representable(in) {
+			w, err := EncodeT16(in)
+			if err != nil {
+				t.Fatalf("Representable(%+v) but EncodeT16 failed: %v", in, err)
+			}
+			got, err := DecodeT16(w)
+			if err != nil {
+				t.Fatalf("EncodeT16(%+v) = %#04x, which does not decode: %v", in, w, err)
+			}
+			if got != in {
+				t.Fatalf("T16 round trip: %+v -> %+v", in, got)
+			}
+		}
+	})
+}

@@ -37,19 +37,15 @@ func RunAblateFetch(c *Context) *AblateFetchResult {
 	for wi := range widths {
 		grid[wi] = make([]cell, len(apps))
 	}
-	forEach(len(apps), func(i int) {
+	c.forEach(len(apps), func(i int) {
 		a := apps[i]
-		p := c.Program(a)
-		cp, _ := c.Variant(a, VarCritIC)
-		op, _ := c.Variant(a, VarOPP16)
-		hp, _ := c.Variant(a, VarHoist)
 		for wi, w := range widths {
 			cfg := cpu.DefaultConfig()
 			cfg.FetchBytes = w
-			base := c.Measure(p, cfg, false)
-			mC := c.Measure(cp, cfg, false)
-			mO := c.Measure(op, cfg, false)
-			mH := c.Measure(hp, cfg, false)
+			base := c.MeasureVariant(a, VarBase, cfg, false)
+			mC := c.MeasureVariant(a, VarCritIC, cfg, false)
+			mO := c.MeasureVariant(a, VarOPP16, cfg, false)
+			mH := c.MeasureVariant(a, VarHoist, cfg, false)
 			grid[wi][i] = cell{
 				ipc:    base.Res.IPC(),
 				critic: Speedup(base, mC),
@@ -121,15 +117,13 @@ func RunAblateCDP(c *Context) *AblateCDPResult {
 	for vi := range variants {
 		grid[vi] = make([]float64, len(apps))
 	}
-	forEach(len(apps), func(i int) {
+	c.forEach(len(apps), func(i int) {
 		a := apps[i]
-		p := c.Program(a)
-		base := c.Measure(p, cpu.DefaultConfig(), false)
+		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
 		for vi, v := range variants {
-			vp, _ := c.Variant(a, v.kind)
 			cfg := cpu.DefaultConfig()
 			cfg.CDPExtraDecodeCycle = v.bubble
-			m := c.Measure(vp, cfg, false)
+			m := c.MeasureVariant(a, v.kind, cfg, false)
 			grid[vi][i] = Speedup(base, m)
 		}
 	})

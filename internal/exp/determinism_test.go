@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"testing"
+
+	"critics/internal/trace"
+)
+
+// determinismCtx returns a reduced-scale context with the given worker
+// bound. Each schedule gets its own context so the two runs share nothing
+// but the configuration.
+func determinismCtx(workers int) *Context {
+	c := QuickContext()
+	c.WarmupArch = 4_000
+	c.WarmArch = 5_000
+	c.MeasureArch = 12_000
+	c.ProfilePlan = trace.SamplePlan{Samples: 3, Length: 8_000, Gap: 2_000, Warmup: 2_000}
+	c.Workers = workers
+	return c
+}
+
+// TestParallelDeterminism is the engine's core guarantee: every experiment
+// in the registry produces byte-identical output under the serial reference
+// schedule (workers=1) and a heavily parallel one (workers=8). It guards the
+// merge logic — index-addressed shard storage, post-Map reductions in index
+// order, and the window-order merge in core.BuildProfile — against any
+// future change that lets goroutine scheduling leak into results.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep; skipped in -short")
+	}
+	serial := determinismCtx(1)
+	parallel := determinismCtx(8)
+	for _, id := range IDs() {
+		want, err := Run(id, serial)
+		if err != nil {
+			t.Fatalf("%s (serial): %v", id, err)
+		}
+		got, err := Run(id, parallel)
+		if err != nil {
+			t.Fatalf("%s (workers=8): %v", id, err)
+		}
+		if got != want {
+			t.Errorf("%s: workers=8 output differs from serial\n--- serial ---\n%s\n--- workers=8 ---\n%s", id, want, got)
+		}
+	}
+}

@@ -31,17 +31,15 @@ type Fig8Result struct {
 func RunFig8(c *Context) *Fig8Result {
 	apps := workload.MobileApps()
 	rows := make([]Fig8Row, len(apps))
-	forEach(len(apps), func(i int) {
+	c.forEach(len(apps), func(i int) {
 		a := apps[i]
-		base := c.Measure(c.Program(a), cpu.DefaultConfig(), false)
+		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
 
-		branchProg, _ := c.Variant(a, VarCritICBranch)
-		mBr := c.Measure(branchProg, cpu.DefaultConfig(), false)
+		mBr := c.MeasureVariant(a, VarCritICBranch, cpu.DefaultConfig(), false)
 
-		cdpProg, _ := c.Variant(a, VarCritIC)
 		freeCfg := cpu.DefaultConfig()
 		freeCfg.CDPExtraDecodeCycle = false
-		mIdeal := c.Measure(cdpProg, freeCfg, false)
+		mIdeal := c.MeasureVariant(a, VarCritIC, freeCfg, false)
 
 		rows[i] = Fig8Row{
 			App:          a.Params.Name,
@@ -101,19 +99,12 @@ type Fig10Result struct {
 func RunFig10(c *Context) *Fig10Result {
 	apps := workload.MobileApps()
 	rows := make([]Fig10Row, len(apps))
-	forEach(len(apps), func(i int) {
+	c.forEach(len(apps), func(i int) {
 		a := apps[i]
-		p := c.Program(a)
-		base := c.Measure(p, cpu.DefaultConfig(), true)
-
-		hoistProg, _ := c.Variant(a, VarHoist)
-		mHoist := c.Measure(hoistProg, cpu.DefaultConfig(), false)
-
-		criticProg, _ := c.Variant(a, VarCritIC)
-		mCrit := c.Measure(criticProg, cpu.DefaultConfig(), true)
-
-		idealProg, _ := c.Variant(a, VarCritICIdeal)
-		mIdeal := c.Measure(idealProg, cpu.DefaultConfig(), false)
+		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), true)
+		mHoist := c.MeasureVariant(a, VarHoist, cpu.DefaultConfig(), false)
+		mCrit := c.MeasureVariant(a, VarCritIC, cpu.DefaultConfig(), true)
+		mIdeal := c.MeasureVariant(a, VarCritICIdeal, cpu.DefaultConfig(), false)
 
 		row := Fig10Row{App: a.Params.Name}
 		row.HoistPct = Speedup(base, mHoist)

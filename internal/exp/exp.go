@@ -16,19 +16,29 @@ package exp
 import (
 	"fmt"
 	"runtime"
-	"sync"
+	"strings"
+	"unsafe"
 
 	"critics/internal/compiler"
 	"critics/internal/core"
 	"critics/internal/cpu"
 	"critics/internal/dfg"
 	"critics/internal/prog"
+	"critics/internal/sched"
 	"critics/internal/trace"
 	"critics/internal/workload"
 )
 
-// Context carries experiment scale parameters and caches programs, profiles
-// and compiled variants across runners.
+// DefaultMeasureCacheBytes is the default retention budget for memoized
+// measurements (their Dyns/Fanouts/Records buffers dominate the engine's
+// memory footprint; programs, profiles and variants are small and uncapped).
+const DefaultMeasureCacheBytes = 2 << 30
+
+// Context is the experiment execution engine: it carries the scale
+// parameters and the content-addressed memo caches that deduplicate
+// programs, profiles, compiled variants and simulated measurements across
+// runners, and the worker bound the runners shard their (app, variant)
+// work over.
 type Context struct {
 	Seed        int64
 	WarmupArch  int // instructions skipped before the warm window
@@ -37,10 +47,15 @@ type Context struct {
 	ProfilePlan trace.SamplePlan
 	HighFanout  int32 // individually-critical threshold
 
-	mu       sync.Mutex
-	progs    map[string]*prog.Program
-	profs    map[string]*core.Profile
-	variants map[string]*variantEntry
+	// Workers bounds the worker pool the runners shard per-app work over;
+	// 0 selects GOMAXPROCS, 1 forces the serial reference schedule.
+	// Results are bit-identical for every value (see internal/sched).
+	Workers int
+
+	progs    *sched.Memo[*prog.Program]
+	profs    *sched.Memo[*core.Profile]
+	variants *sched.Memo[variantEntry]
+	meas     *sched.Memo[*Measurement]
 }
 
 type variantEntry struct {
@@ -57,9 +72,10 @@ func NewContext() *Context {
 		MeasureArch: 120_000,
 		ProfilePlan: trace.SamplePlan{Samples: 12, Length: 25_000, Gap: 5_000, Warmup: 5_000},
 		HighFanout:  8,
-		progs:       map[string]*prog.Program{},
-		profs:       map[string]*core.Profile{},
-		variants:    map[string]*variantEntry{},
+		progs:       sched.NewMemo[*prog.Program](0),
+		profs:       sched.NewMemo[*core.Profile](0),
+		variants:    sched.NewMemo[variantEntry](0),
+		meas:        sched.NewMemo[*Measurement](DefaultMeasureCacheBytes),
 	}
 }
 
@@ -73,48 +89,46 @@ func QuickContext() *Context {
 	return c
 }
 
-// Program returns (and caches) the generated program for an app.
-func (c *Context) Program(a workload.App) *prog.Program {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if p, ok := c.progs[a.Params.Name]; ok {
-		return p
+// workers resolves the configured worker bound.
+func (c *Context) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
 	}
-	p := workload.Generate(a.Params)
-	c.progs[a.Params.Name] = p
-	return p
+	return runtime.GOMAXPROCS(0)
+}
+
+// Program returns (and caches) the generated program for an app, keyed by
+// the full generator parameter set (workload seed included).
+func (c *Context) Program(a workload.App) *prog.Program {
+	key := sched.KeyOf("prog", a.Params)
+	return c.progs.Get(key, func() *prog.Program {
+		return workload.Generate(a.Params)
+	}, nil)
 }
 
 // Profile returns (and caches) the CritIC profile for an app. ideal relaxes
 // the all-or-nothing representability requirement during selection
 // (CritIC.Ideal). windowsFrac < 1 profiles only the leading fraction of the
-// sampled windows (Fig. 12b).
+// sampled windows (Fig. 12b). Per-window chain extraction is sharded over
+// the context's worker pool (internal/core merges windows in index order,
+// so the profile is identical for every worker count).
 func (c *Context) Profile(a workload.App, ideal bool, windowsFrac float64) *core.Profile {
-	key := fmt.Sprintf("%s|%v|%.2f", a.Params.Name, ideal, windowsFrac)
-	c.mu.Lock()
-	if pr, ok := c.profs[key]; ok {
-		c.mu.Unlock()
-		return pr
-	}
-	c.mu.Unlock()
-
-	p := c.Program(a)
-	ws := trace.Collect(p, a.Params.Seed, c.ProfilePlan)
-	if windowsFrac > 0 && windowsFrac < 1 {
-		n := int(float64(len(ws))*windowsFrac + 0.5)
-		if n < 1 {
-			n = 1
+	key := sched.KeyOf("prof", a.Params, ideal, windowsFrac, c.ProfilePlan)
+	return c.profs.Get(key, func() *core.Profile {
+		p := c.Program(a)
+		ws := trace.Collect(p, a.Params.Seed, c.ProfilePlan)
+		if windowsFrac > 0 && windowsFrac < 1 {
+			n := int(float64(len(ws))*windowsFrac + 0.5)
+			if n < 1 {
+				n = 1
+			}
+			ws = ws[:n]
 		}
-		ws = ws[:n]
-	}
-	cfg := core.DefaultConfig()
-	cfg.RequireThumb = !ideal
-	pr := core.BuildProfile(p, ws, cfg)
-
-	c.mu.Lock()
-	c.profs[key] = pr
-	c.mu.Unlock()
-	return pr
+		cfg := core.DefaultConfig()
+		cfg.RequireThumb = !ideal
+		cfg.Workers = c.workers()
+		return core.BuildProfile(p, ws, cfg)
+	}, nil)
 }
 
 // Variant kinds accepted by Context.Variant.
@@ -133,20 +147,16 @@ const (
 // For CritIC variants with a length cap other than 5, use kind
 // "critic-len-N" (exactly-length-N selection, Fig. 12a) or
 // "critic-frac-F" (profiling fraction, Fig. 12b with F in percent).
+// The kind string names the compiler configuration; the cache key adds the
+// generator parameters and the profiling plan the variant's profile
+// depends on.
 func (c *Context) Variant(a workload.App, kind string) (*prog.Program, compiler.Stats) {
-	key := a.Params.Name + "|" + kind
-	c.mu.Lock()
-	if v, ok := c.variants[key]; ok {
-		c.mu.Unlock()
-		return v.p, v.st
-	}
-	c.mu.Unlock()
-
-	p, st := c.buildVariant(a, kind)
-	c.mu.Lock()
-	c.variants[key] = &variantEntry{p: p, st: st}
-	c.mu.Unlock()
-	return p, st
+	key := sched.KeyOf("variant", a.Params, kind, c.ProfilePlan)
+	v := c.variants.Get(key, func() variantEntry {
+		p, st := c.buildVariant(a, kind)
+		return variantEntry{p: p, st: st}
+	}, nil)
+	return v.p, v.st
 }
 
 func (c *Context) buildVariant(a workload.App, kind string) (*prog.Program, compiler.Stats) {
@@ -231,6 +241,8 @@ func Speedup(base, opt *Measurement) float64 {
 
 // Measure simulates one program under cfg over the context's measurement
 // window (with warm-up), optionally collecting per-instruction records.
+// This is the uncached primitive; experiment runners go through
+// MeasureVariant, which memoizes the result.
 func (c *Context) Measure(p *prog.Program, cfg cpu.Config, collect bool) *Measurement {
 	g := trace.NewGenerator(p, c.Seed)
 	g.SkipArch(c.WarmupArch)
@@ -247,6 +259,62 @@ func (c *Context) Measure(p *prog.Program, cfg cpu.Config, collect bool) *Measur
 	return &Measurement{Res: res, Dyns: dyns, Fanouts: fan}
 }
 
+// MeasureVariant measures one (app, variant, machine config) shard through
+// the memo cache: the baseline trace/simulation for an app is computed once
+// and reused by every experiment that needs it (fig1a/fig3/fig10/...)
+// instead of once per figure. The key covers everything the result depends
+// on: workload seed and generator parameters (a.Params), compiler
+// configuration (kind), machine configuration (cfg), and the context's
+// window/profiling scale. The returned Measurement is shared — callers must
+// treat it as read-only.
+func (c *Context) MeasureVariant(a workload.App, kind string, cfg cpu.Config, collect bool) *Measurement {
+	key := sched.KeyOf("meas", a.Params, kind, cfg, collect,
+		c.Seed, c.WarmupArch, c.WarmArch, c.MeasureArch, c.ProfilePlan)
+	return c.meas.Get(key, func() *Measurement {
+		p, _ := c.Variant(a, kind)
+		return c.Measure(p, cfg, collect)
+	}, measurementCost)
+}
+
+// measurementCost approximates a measurement's retained bytes (its slices
+// dominate; struct overheads are noise at this scale).
+func measurementCost(m *Measurement) int64 {
+	const dynBytes = int64(unsafe.Sizeof(trace.Dyn{}))
+	const recBytes = int64(unsafe.Sizeof(cpu.Record{}))
+	return int64(len(m.Dyns))*dynBytes +
+		int64(len(m.Fanouts))*4 +
+		int64(len(m.Res.Records))*recBytes
+}
+
+// CacheStats reports the engine's memo-cache hit/miss counters.
+type CacheStats struct {
+	Programs     sched.Stats
+	Profiles     sched.Stats
+	Variants     sched.Stats
+	Measurements sched.Stats
+}
+
+// String formats the counters (the -cache-stats view of cmd/criticsim).
+func (s CacheStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cache stats:\n")
+	fmt.Fprintf(&b, "  programs:     %s\n", s.Programs)
+	fmt.Fprintf(&b, "  profiles:     %s\n", s.Profiles)
+	fmt.Fprintf(&b, "  variants:     %s\n", s.Variants)
+	fmt.Fprintf(&b, "  measurements: %s\n", s.Measurements)
+	return b.String()
+}
+
+// CacheStats returns the context's current memo counters.
+func (c *Context) CacheStats() CacheStats {
+	return CacheStats{
+		Programs:     c.progs.Stats(),
+		Profiles:     c.profs.Stats(),
+		Variants:     c.variants.Stats(),
+		Measurements: c.meas.Stats(),
+	}
+}
+
 // Suites returns the three workload suites keyed as the paper labels them.
 func Suites() map[string][]workload.App {
 	return map[string][]workload.App{
@@ -259,35 +327,12 @@ func Suites() map[string][]workload.App {
 // SuiteOrder is the presentation order of suites.
 var SuiteOrder = []string{"spec.int", "spec.float", "android"}
 
-// forEach runs f over indices 0..n-1 in parallel and waits. Results must be
-// written to preallocated, index-addressed storage for determinism.
-func forEach(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	wg.Wait()
+// forEach runs f over indices 0..n-1 on the context's worker pool and
+// waits. Results must be written to preallocated, index-addressed storage;
+// order-sensitive reductions happen after it returns (the sched package's
+// determinism contract).
+func (c *Context) forEach(n int, f func(i int)) {
+	sched.NewPool(c.workers()).Map(n, f)
 }
 
 // critBreakdown aggregates the per-stage residency of the high-fanout

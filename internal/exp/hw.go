@@ -83,13 +83,11 @@ func RunFig11(c *Context) *Fig11Result {
 		baseRD float64
 	}
 	outs := make([]appOut, len(apps))
-	forEach(len(apps), func(i int) {
+	c.forEach(len(apps), func(i int) {
 		a := apps[i]
-		p := c.Program(a)
-		cp, _ := c.Variant(a, VarCritIC)
 
-		base := c.Measure(p, cpu.DefaultConfig(), true)
-		mCrit := c.Measure(cp, cpu.DefaultConfig(), false)
+		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), true)
+		mCrit := c.MeasureVariant(a, VarCritIC, cpu.DefaultConfig(), false)
 		outs[i].critic = Speedup(base, mCrit)
 		_, allB, _ := c.critBreakdown(base)
 		if t := allB.Total(); t > 0 {
@@ -99,16 +97,14 @@ func RunFig11(c *Context) *Fig11Result {
 
 		for mi, mech := range HWMechs {
 			cfg := ApplyHW(mech)
-			cfg.CollectRecords = true
-			mAlone := c.Measure(p, cfg, true)
+			mAlone := c.MeasureVariant(a, VarBase, cfg, true)
 			outs[i].alone[mi] = Speedup(base, mAlone)
 			_, all, _ := c.critBreakdown(mAlone)
 			if t := all.Total(); t > 0 {
 				outs[i].fi[mi] = float64(all.FetchI) / float64(t)
 				outs[i].rd[mi] = float64(all.FetchRD) / float64(t)
 			}
-			cfg.CollectRecords = false
-			mWith := c.Measure(cp, cfg, false)
+			mWith := c.MeasureVariant(a, VarCritIC, cfg, false)
 			outs[i].with[mi] = Speedup(base, mWith)
 		}
 	})

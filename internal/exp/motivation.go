@@ -44,20 +44,19 @@ func RunFig1a(c *Context) *Fig1aResult {
 		pf := make([]float64, len(apps))
 		pr := make([]float64, len(apps))
 		cf := make([]float64, len(apps))
-		forEach(len(apps), func(i int) {
+		c.forEach(len(apps), func(i int) {
 			a := apps[i]
-			p := c.Program(a)
 			noPF := cpu.DefaultConfig()
 			noPF.Hier.CLPTEntries = 0
-			base := c.Measure(p, noPF, false)
+			base := c.MeasureVariant(a, VarBase, noPF, false)
 
 			cfgPF := cpu.DefaultConfig()
 			cfgPF.CriticalLoadPrefetch = true
-			mPF := c.Measure(p, cfgPF, false)
+			mPF := c.MeasureVariant(a, VarBase, cfgPF, false)
 
 			cfgPR := noPF
 			cfgPR.BackendPrio = true
-			mPR := c.Measure(p, cfgPR, false)
+			mPR := c.MeasureVariant(a, VarBase, cfgPR, false)
 
 			pf[i] = Speedup(base, mPF)
 			pr[i] = Speedup(base, mPR)
@@ -110,9 +109,9 @@ func RunFig1b(c *Context) *Fig1bResult {
 		apps := suites[suite]
 		agg := dfg.GapResult{Gaps: stats.NewHistogram(5)}
 		var mu = make([]dfg.GapResult, len(apps))
-		forEach(len(apps), func(i int) {
+		c.forEach(len(apps), func(i int) {
 			a := apps[i]
-			m := c.Measure(c.Program(a), cpu.DefaultConfig(), false)
+			m := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
 			chunk := 1024
 			if suite != "android" {
 				chunk = 8192
@@ -183,9 +182,9 @@ func RunFig3(c *Context) *Fig3Result {
 	for _, suite := range SuiteOrder {
 		apps := suites[suite]
 		rows := make([]Fig3Row, len(apps))
-		forEach(len(apps), func(i int) {
+		c.forEach(len(apps), func(i int) {
 			a := apps[i]
-			m := c.Measure(c.Program(a), cpu.DefaultConfig(), true)
+			m := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), true)
 			crit, _, n := c.critBreakdown(m)
 			var row Fig3Row
 			tot := float64(crit.Total())
@@ -294,9 +293,9 @@ func RunFig5a(c *Context) *Fig5aResult {
 	for _, suite := range SuiteOrder {
 		apps := suites[suite]
 		parts := make([][]dfg.Chain, len(apps))
-		forEach(len(apps), func(i int) {
+		c.forEach(len(apps), func(i int) {
 			a := apps[i]
-			m := c.Measure(c.Program(a), cpu.DefaultConfig(), false)
+			m := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
 			chunk := 2048
 			if suite != "android" {
 				chunk = 16384
@@ -346,7 +345,7 @@ func RunFig5b(c *Context) *Fig5bResult {
 		thumb   *stats.CDF
 	}
 	parts := make([]part, len(apps))
-	forEach(len(apps), func(i int) {
+	c.forEach(len(apps), func(i int) {
 		prof := c.Profile(apps[i], true, 1) // ideal: keep non-representable candidates visible
 		all, thumb := prof.CoverageCDF()
 		parts[i] = part{unique: prof.UniqueChains(), thumbOK: prof.ThumbRepresentableFrac(), all: all, thumb: thumb}

@@ -40,12 +40,11 @@ func RunFig13(c *Context) *Fig13Result {
 		grid[si] = make([]float64, len(apps))
 		thumb[si] = make([]float64, len(apps))
 	}
-	forEach(len(apps), func(i int) {
+	c.forEach(len(apps), func(i int) {
 		a := apps[i]
-		base := c.Measure(c.Program(a), cpu.DefaultConfig(), false)
+		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
 		for si, sch := range fig13Schemes {
-			vp, _ := c.Variant(a, sch.kind)
-			m := c.Measure(vp, cpu.DefaultConfig(), false)
+			m := c.MeasureVariant(a, sch.kind, cpu.DefaultConfig(), false)
 			grid[si][i] = Speedup(base, m)
 			var th, arch int64
 			for k := range m.Dyns {

@@ -38,18 +38,16 @@ func RunFig12a(c *Context) *Fig12aResult {
 	for li := range lengths {
 		grid[li] = make([]cell, len(apps))
 	}
-	forEach(len(apps), func(i int) {
+	c.forEach(len(apps), func(i int) {
 		a := apps[i]
-		p := c.Program(a)
-		base := c.Measure(p, cpu.DefaultConfig(), true)
+		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), true)
 		_, allB, _ := c.critBreakdown(base)
 		baseFrac := 0.0
 		if t := allB.Total(); t > 0 {
 			baseFrac = float64(allB.FetchI+allB.FetchRD) / float64(t)
 		}
 		for li, n := range lengths {
-			vp, _ := c.Variant(a, fmt.Sprintf("critic-len-%d", n))
-			m := c.Measure(vp, cpu.DefaultConfig(), true)
+			m := c.MeasureVariant(a, fmt.Sprintf("critic-len-%d", n), cpu.DefaultConfig(), true)
 			_, all, _ := c.critBreakdown(m)
 			var fetchSaved float64
 			if t := all.Total(); t > 0 && baseFrac > 0 {
@@ -122,12 +120,11 @@ func RunFig12b(c *Context) *Fig12bResult {
 	for fi := range fracs {
 		grid[fi] = make([]float64, len(apps))
 	}
-	forEach(len(apps), func(i int) {
+	c.forEach(len(apps), func(i int) {
 		a := apps[i]
-		base := c.Measure(c.Program(a), cpu.DefaultConfig(), false)
+		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
 		for fi, f := range fracs {
-			vp, _ := c.Variant(a, fmt.Sprintf("critic-frac-%d", f))
-			m := c.Measure(vp, cpu.DefaultConfig(), false)
+			m := c.MeasureVariant(a, fmt.Sprintf("critic-frac-%d", f), cpu.DefaultConfig(), false)
 			grid[fi][i] = Speedup(base, m)
 		}
 	})

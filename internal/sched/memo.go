@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is a content-addressed cache key: a digest of every input that
+// determines the cached artifact (workload seed and generator parameters,
+// compiler configuration, machine configuration, window sizes, ...).
+type Key [sha256.Size]byte
+
+// KeyOf fingerprints its arguments into a Key. Each part is rendered with
+// %#v — a canonical, type-tagged form for the plain structs (no pointers,
+// maps or slices) the experiment layer keys on — and hashed, so two keys
+// collide only when every configuration input is identical.
+func KeyOf(parts ...any) Key {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%#v\x00", p)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Stats are a memo cache's hit/miss counters. Skipped counts values that
+// were computed but not retained because the byte budget was exhausted.
+type Stats struct {
+	Hits    int64
+	Misses  int64
+	Skipped int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// String formats the counters for -cache-stats style reporting.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d hits, %d misses (%.0f%% hit rate, %d evicted-on-admit)",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Skipped)
+}
+
+// entry is one in-flight or completed memo slot. done is closed once val is
+// final; waiters that arrive during a build block on it (singleflight).
+type entry[V any] struct {
+	done chan struct{}
+	val  V
+}
+
+// Memo is a content-addressed, concurrency-safe memo cache with
+// single-flight builds: under a parallel schedule, the first caller of a key
+// builds the value while later callers block and share the result, so an
+// artifact is computed exactly once no matter how many shards need it.
+//
+// Builds must be deterministic pure functions of the key (the engine's
+// artifacts all are): then caching is invisible to results and only affects
+// wall-clock, which is what keeps parallel runs bit-identical to serial
+// ones. Cached values are shared across callers and must be treated as
+// immutable.
+type Memo[V any] struct {
+	mu      sync.Mutex
+	entries map[Key]*entry[V]
+
+	// budget caps the summed cost of retained values (0 = unlimited).
+	// Admission stops when the budget is spent: values built past it are
+	// returned to their waiters but not retained, so long sweeps degrade
+	// to recomputation instead of unbounded memory growth.
+	budget int64
+	used   int64
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	skipped atomic.Int64
+}
+
+// NewMemo returns a memo retaining at most budgetBytes of summed value cost
+// (as reported by the cost function passed to Get); budgetBytes <= 0 means
+// unlimited.
+func NewMemo[V any](budgetBytes int64) *Memo[V] {
+	if budgetBytes < 0 {
+		budgetBytes = 0
+	}
+	return &Memo[V]{entries: map[Key]*entry[V]{}, budget: budgetBytes}
+}
+
+// Get returns the value for k, building it with build on first use. cost
+// reports the retention cost of a freshly built value in bytes (nil = 1).
+// Concurrent callers of the same key share one build.
+func (m *Memo[V]) Get(k Key, build func() V, cost func(V) int64) V {
+	m.mu.Lock()
+	if e, ok := m.entries[k]; ok {
+		m.mu.Unlock()
+		<-e.done
+		m.hits.Add(1)
+		return e.val
+	}
+	e := &entry[V]{done: make(chan struct{})}
+	m.entries[k] = e
+	m.mu.Unlock()
+	m.misses.Add(1)
+
+	e.val = build()
+	close(e.done)
+
+	var c int64 = 1
+	if cost != nil {
+		c = cost(e.val)
+	}
+	m.mu.Lock()
+	if m.budget > 0 && m.used+c > m.budget {
+		// Over budget: hand the value to current waiters (they hold e)
+		// but do not retain it for future lookups.
+		delete(m.entries, k)
+		m.skipped.Add(1)
+	} else {
+		m.used += c
+	}
+	m.mu.Unlock()
+	return e.val
+}
+
+// Stats returns the current hit/miss counters.
+func (m *Memo[V]) Stats() Stats {
+	return Stats{Hits: m.hits.Load(), Misses: m.misses.Load(), Skipped: m.skipped.Load()}
+}
+
+// Len returns the number of retained entries.
+func (m *Memo[V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// UsedBytes returns the summed retention cost of the retained entries.
+func (m *Memo[V]) UsedBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}

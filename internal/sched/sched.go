@@ -1,0 +1,74 @@
+// Package sched is the sharded parallel execution engine behind the
+// experiment suite: a bounded worker pool that runs index-addressed shards
+// (one per (app, window, variant) unit of work) plus a content-addressed
+// memo cache (memo.go) that deduplicates the expensive
+// profile→compile→simulate artifacts across experiments.
+//
+// Determinism contract: Map runs f over every index exactly once and waits
+// for all of them; callers write results only to preallocated,
+// index-addressed storage and perform any order-sensitive reduction (float
+// accumulation, map merging) AFTER Map returns, iterating shards in index
+// order. Under that contract the merged result is bit-identical for every
+// worker count, including 1 — the property internal/exp's determinism
+// regression test enforces for every experiment in the registry.
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool. The zero value is not useful; construct
+// with NewPool. Pools carry no state beyond the worker bound, so they are
+// cheap to create per call site.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool running at most workers goroutines. workers <= 0
+// selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the resolved worker bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs f(i) for every i in [0, n) across the pool's workers and waits
+// for completion. With one worker (or n <= 1) the shards run serially in
+// index order on the calling goroutine — the reference schedule that
+// parallel runs must be bit-identical to.
+func (p *Pool) Map(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

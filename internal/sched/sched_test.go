@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		p := NewPool(workers)
+		const n = 57
+		var hits [n]atomic.Int32
+		p.Map(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestMapZeroAndNegative(t *testing.T) {
+	p := NewPool(4)
+	ran := false
+	p.Map(0, func(int) { ran = true })
+	p.Map(-3, func(int) { ran = true })
+	if ran {
+		t.Error("Map ran f for n <= 0")
+	}
+}
+
+func TestNewPoolDefaults(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Error("NewPool(0) resolved to < 1 worker")
+	}
+	if got := NewPool(3).Workers(); got != 3 {
+		t.Errorf("Workers() = %d, want 3", got)
+	}
+}
+
+func TestKeyOfDiscriminates(t *testing.T) {
+	type cfg struct {
+		A int
+		B bool
+	}
+	k1 := KeyOf("meas", cfg{1, true}, 42)
+	k2 := KeyOf("meas", cfg{1, true}, 42)
+	if k1 != k2 {
+		t.Error("identical inputs produced different keys")
+	}
+	if k1 == KeyOf("meas", cfg{2, true}, 42) {
+		t.Error("field change did not change the key")
+	}
+	if k1 == KeyOf("prof", cfg{1, true}, 42) {
+		t.Error("namespace change did not change the key")
+	}
+	if k1 == KeyOf("meas", cfg{1, true}) {
+		t.Error("dropping a part did not change the key")
+	}
+}
+
+func TestMemoSingleFlight(t *testing.T) {
+	m := NewMemo[int](0)
+	var builds atomic.Int32
+	k := KeyOf("x")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := m.Get(k, func() int { builds.Add(1); return 7 }, nil)
+			if v != 7 {
+				t.Errorf("got %d", v)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Errorf("built %d times, want 1", builds.Load())
+	}
+	st := m.Stats()
+	if st.Misses != 1 || st.Hits != 31 {
+		t.Errorf("stats = %+v, want 1 miss / 31 hits", st)
+	}
+}
+
+func TestMemoBudgetAdmission(t *testing.T) {
+	m := NewMemo[int](10)
+	cost := func(v int) int64 { return int64(v) }
+	m.Get(KeyOf(1), func() int { return 6 }, cost) // retained: used = 6
+	m.Get(KeyOf(2), func() int { return 6 }, cost) // over budget: not retained
+	if m.Len() != 1 {
+		t.Errorf("retained %d entries, want 1", m.Len())
+	}
+	if m.UsedBytes() != 6 {
+		t.Errorf("used = %d, want 6", m.UsedBytes())
+	}
+	if st := m.Stats(); st.Skipped != 1 {
+		t.Errorf("skipped = %d, want 1", st.Skipped)
+	}
+	// The un-retained key rebuilds on next lookup.
+	builds := 0
+	m.Get(KeyOf(2), func() int { builds++; return 6 }, cost)
+	if builds != 1 {
+		t.Error("over-budget value was unexpectedly retained")
+	}
+	// The retained key still hits.
+	m.Get(KeyOf(1), func() int { t.Error("rebuilt retained key"); return 0 }, cost)
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Hits: 3, Misses: 1}
+	if s.HitRate() != 0.75 {
+		t.Errorf("hit rate %f", s.HitRate())
+	}
+	if s.String() == "" {
+		t.Error("empty stats string")
+	}
+}

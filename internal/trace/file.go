@@ -139,7 +139,16 @@ func ReadTrace(r io.Reader) ([]Dyn, error) {
 	if count > maxTrace {
 		return nil, fmt.Errorf("trace: implausible record count %d", count)
 	}
-	dyns := make([]Dyn, 0, count)
+	// Cap the preallocation independently of the declared count: a hostile
+	// header can claim up to maxTrace records (~48 GiB of Dyn) while holding
+	// no payload at all, so trust the count only up to ~16 MiB and let
+	// append grow the slice as records actually arrive.
+	const maxPrealloc = 1 << 18
+	prealloc := count
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
+	}
+	dyns := make([]Dyn, 0, prealloc)
 	var rec [recordBytes]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
@@ -180,6 +189,11 @@ func readDyn(rec *[recordBytes]byte) Dyn {
 	flags2 := rec[47]
 	d.Overhead = flags2&1 != 0
 	nprod := (flags2 >> 1) & 0x7
+	// The 3-bit field can claim up to 7 producers in a corrupted record;
+	// Prod holds at most 4 (what writeDyn ever stores).
+	if nprod > uint8(len(d.Prod)) {
+		nprod = uint8(len(d.Prod))
+	}
 	d.CDPCount = flags2 >> 4
 	if nprod > 0 {
 		d.NProd = 1

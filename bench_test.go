@@ -11,6 +11,7 @@ import (
 	"critics/internal/encoding"
 	"critics/internal/exp"
 	"critics/internal/isa"
+	"critics/internal/telemetry"
 	"critics/internal/trace"
 	"critics/internal/workload"
 )
@@ -136,6 +137,35 @@ func BenchmarkPipelineSimulation(b *testing.B) {
 		s.Run(dyns, fan)
 	}
 	b.SetBytes(20_000)
+}
+
+// benchmarkSimTelemetry is the overhead guard for the telemetry nil-sink
+// fast path: Off simulates with Config.Metrics nil (the default every
+// experiment runs with unless -metrics-addr is up) and must stay within 2%
+// of the seed BenchmarkPipelineSimulation number; On attaches a live
+// registry and shows the full instrumented cost. CI runs both so the pair
+// is comparable in one log.
+func benchmarkSimTelemetry(b *testing.B, metrics *cpu.Metrics) {
+	app := acrobatProgram()
+	p := workload.Generate(app.Params)
+	g := trace.NewGenerator(p, 1)
+	g.Skip(10_000)
+	dyns := g.Generate(nil, 20_000)
+	fan := dfg.Fanouts(dyns, 128)
+	cfg := cpu.DefaultConfig()
+	cfg.Metrics = metrics
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := cpu.New(cfg)
+		s.Run(dyns, fan)
+	}
+	b.SetBytes(20_000)
+}
+
+func BenchmarkSimTelemetryOff(b *testing.B) { benchmarkSimTelemetry(b, nil) }
+
+func BenchmarkSimTelemetryOn(b *testing.B) {
+	benchmarkSimTelemetry(b, cpu.NewMetrics(telemetry.NewRegistry()))
 }
 
 func BenchmarkChainExtraction(b *testing.B) {

@@ -9,34 +9,99 @@
 //	criticsim -app acrobat          # end-to-end single-app report
 //	criticsim -exp fig11a -quick    # reduced windows
 //	criticsim -all -workers 8 -cache-stats
+//
+// Observability:
+//
+//	criticsim -app acrobat -quick -trace-out /tmp/t.json   # Chrome trace (Perfetto)
+//	criticsim -all -metrics-addr :9120                     # /metrics + /debug/pprof
+//	criticsim -all -v                                      # structured progress log
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"critics"
+	"critics/internal/telemetry"
 )
 
 func main() {
 	var (
-		expID      = flag.String("exp", "", "experiment id to run (see -list)")
-		all        = flag.Bool("all", false, "run every experiment")
-		list       = flag.Bool("list", false, "list experiment ids")
-		app        = flag.String("app", "", "run the end-to-end pipeline on one app")
-		quick      = flag.Bool("quick", false, "reduced window sizes")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial; results identical)")
-		cacheStats = flag.Bool("cache-stats", false, "print memo-cache hit/miss counters after the run")
+		expID       = flag.String("exp", "", "experiment id to run (see -list)")
+		all         = flag.Bool("all", false, "run every experiment")
+		list        = flag.Bool("list", false, "list experiment ids")
+		app         = flag.String("app", "", "run the end-to-end pipeline on one app")
+		quick       = flag.Bool("quick", false, "reduced window sizes")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial; results identical)")
+		cacheStats  = flag.Bool("cache-stats", false, "print memo-cache hit/miss counters after the run")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while running")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
+		verbose     = flag.Bool("v", false, "structured progress log on stderr")
 	)
 	flag.Parse()
 
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelInfo
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	// The registry is always attached: it is free until scraped, and keeps
+	// -cache-stats and /metrics reading the same counters.
+	reg := telemetry.NewRegistry()
 	var opts []critics.Option
 	if *quick {
 		opts = append(opts, critics.WithQuickScale())
 	}
-	opts = append(opts, critics.WithWorkers(*workers))
+	opts = append(opts, critics.WithWorkers(*workers), critics.WithTelemetry(reg))
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("serving metrics", "addr", *metricsAddr)
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				logger.Error("metrics server failed", "err", err)
+			}
+		}()
+	}
+
+	// openTrace attaches an engine-span tracer for experiment runs (-app
+	// runs stream richer pipeline timelines through critics.TraceApp
+	// instead).
+	openTrace := func() (*telemetry.Tracer, *os.File) {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr := telemetry.NewTracer(f)
+		tr.MetaProcessName(telemetry.EnginePID, "engine (wall-clock µs)")
+		return tr, f
+	}
+	closeTrace := func(tr *telemetry.Tracer, f *os.File) {
+		if err := tr.Close(); err == nil {
+			err = f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			logger.Info("trace written", "path", *traceOut)
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	switch {
 	case *list:
@@ -44,13 +109,40 @@ func main() {
 			fmt.Println(id)
 		}
 	case *app != "":
-		rep, err := critics.OptimizeApp(*app, opts...)
+		start := time.Now()
+		var (
+			rep *critics.Report
+			err error
+		)
+		if *traceOut != "" {
+			var f *os.File
+			f, err = os.Create(*traceOut)
+			if err == nil {
+				rep, err = critics.TraceApp(*app, f, opts...)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err == nil {
+					logger.Info("trace written", "path", *traceOut)
+				}
+			}
+		} else {
+			rep, err = critics.OptimizeApp(*app, opts...)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		logger.Info("app optimized", "app", *app, "speedup_pct", rep.SpeedupPct,
+			"seconds", time.Since(start).Seconds())
 		fmt.Print(rep)
 	case *all:
+		var tracer *telemetry.Tracer
+		var traceFile *os.File
+		if *traceOut != "" {
+			tracer, traceFile = openTrace()
+			opts = append(opts, critics.WithTracer(tracer))
+		}
 		// fig3a/b/c share a runner, as do fig10a/b/c and fig11a/b; run
 		// each runner once. A session caches programs/profiles/variants
 		// and measurements across experiments.
@@ -71,28 +163,45 @@ func main() {
 				continue
 			}
 			ran[canon] = true
+			logger.Info("experiment start", "id", canon)
 			start := time.Now()
 			out, err := sess.Experiment(canon)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+			logger.Info("experiment done", "id", canon, "seconds", time.Since(start).Seconds())
 			fmt.Print(out)
 			fmt.Printf("  [%s in %.1fs]\n\n", canon, time.Since(start).Seconds())
 		}
 		if *cacheStats {
 			fmt.Print(sess.CacheStats())
 		}
+		if tracer != nil {
+			closeTrace(tracer, traceFile)
+		}
 	case *expID != "":
+		var tracer *telemetry.Tracer
+		var traceFile *os.File
+		if *traceOut != "" {
+			tracer, traceFile = openTrace()
+			opts = append(opts, critics.WithTracer(tracer))
+		}
 		sess := critics.NewSession(opts...)
+		logger.Info("experiment start", "id", *expID)
+		start := time.Now()
 		out, err := sess.Experiment(*expID)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		logger.Info("experiment done", "id", *expID, "seconds", time.Since(start).Seconds())
 		fmt.Print(out)
 		if *cacheStats {
 			fmt.Print(sess.CacheStats())
+		}
+		if tracer != nil {
+			closeTrace(tracer, traceFile)
 		}
 	default:
 		flag.Usage()

@@ -24,6 +24,7 @@ package critics
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"critics/internal/compiler"
@@ -31,6 +32,7 @@ import (
 	"critics/internal/cpu"
 	"critics/internal/energy"
 	"critics/internal/exp"
+	"critics/internal/telemetry"
 	"critics/internal/trace"
 	"critics/internal/workload"
 )
@@ -104,6 +106,22 @@ func WithWorkers(n int) Option {
 	return func(c *exp.Context) { c.Workers = n }
 }
 
+// WithTelemetry attaches a metrics registry: simulator stall attribution,
+// cache/BPU event counts, memo-cache and pool state, and per-experiment
+// wall times become scrapable (e.g. via criticsim -metrics-addr). Telemetry
+// never changes results — only counters are written.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *exp.Context) { c.SetTelemetry(reg) }
+}
+
+// WithTracer attaches a Chrome trace-event tracer; the engine emits
+// wall-clock spans for experiments and memo lookups (labeled hit/miss)
+// while it is set. Pipeline (cycle-domain) timelines are exported by
+// TraceApp.
+func WithTracer(tr *telemetry.Tracer) Option {
+	return func(c *exp.Context) { c.SetTracer(tr) }
+}
+
 // newCtx builds a context with options applied.
 func newCtx(opts ...Option) *exp.Context {
 	c := exp.NewContext()
@@ -126,9 +144,17 @@ func Apps() []string {
 // OptimizeApp runs the full CritIC pipeline on one mobile app (or SPEC
 // workload) and reports the outcome.
 func OptimizeApp(name string, opts ...Option) (*Report, error) {
+	rep, _, err := optimizeApp(name, false, opts...)
+	return rep, err
+}
+
+// optimizeApp is the shared pipeline behind OptimizeApp and TraceApp;
+// collect keeps per-instruction records on the two measurements so a trace
+// export can follow from the memo cache.
+func optimizeApp(name string, collect bool, opts ...Option) (*Report, *exp.Context, error) {
 	app, ok := workload.FindApp(name)
 	if !ok {
-		return nil, fmt.Errorf("critics: unknown app %q (mobile apps: %v)", name, Apps())
+		return nil, nil, fmt.Errorf("critics: unknown app %q (mobile apps: %v)", name, Apps())
 	}
 	ctx := newCtx(opts...)
 
@@ -136,8 +162,8 @@ func OptimizeApp(name string, opts ...Option) (*Report, error) {
 	prof := ctx.Profile(app, false, 1)
 	optimized, st := ctx.Variant(app, exp.VarCritIC)
 
-	mBase := ctx.MeasureVariant(app, exp.VarBase, cpu.DefaultConfig(), false)
-	mOpt := ctx.MeasureVariant(app, exp.VarCritIC, cpu.DefaultConfig(), false)
+	mBase := ctx.MeasureVariant(app, exp.VarBase, cpu.DefaultConfig(), collect)
+	mOpt := ctx.MeasureVariant(app, exp.VarCritIC, cpu.DefaultConfig(), collect)
 
 	eBase := energy.Compute(&mBase.Res, energy.DefaultConfig())
 	eOpt := energy.Compute(&mOpt.Res, energy.DefaultConfig())
@@ -161,7 +187,41 @@ func OptimizeApp(name string, opts ...Option) (*Report, error) {
 		SpeedupPct:            exp.Speedup(mBase, mOpt),
 		SystemEnergySavingPct: sav.TotalPct,
 		CPUEnergySavingPct:    sav.CPUOnlyPct,
-	}, nil
+	}, ctx, nil
+}
+
+// Chrome-trace process ids of TraceApp's cycle-domain pipeline timelines
+// (telemetry.EnginePID carries the wall-clock engine spans).
+const (
+	baselinePID = 10
+	criticPID   = 11
+)
+
+// TraceApp runs the same pipeline as OptimizeApp and streams a Chrome
+// trace-event JSON document to w (open the file in Perfetto or
+// chrome://tracing): per-instruction stage timelines of the measured window
+// for the baseline and CritIC binaries — stall intervals under the paper's
+// §II-D attribution taxonomy, CDP mode-switch and mispredict-redirect
+// markers, fetch-buffer/ROB occupancy — plus wall-clock engine spans
+// (profile, compile, measure; memo lookups labeled hit/miss). The caller
+// owns closing w.
+func TraceApp(name string, w io.Writer, opts ...Option) (*Report, error) {
+	tr := telemetry.NewTracer(w)
+	tr.MetaProcessName(telemetry.EnginePID, "engine (wall-clock µs)")
+	opts = append(opts, WithTracer(tr))
+	rep, ctx, err := optimizeApp(name, true, opts...)
+	if err != nil {
+		return nil, err
+	}
+	app, _ := workload.FindApp(name)
+	mBase := ctx.MeasureVariant(app, exp.VarBase, cpu.DefaultConfig(), true)
+	mOpt := ctx.MeasureVariant(app, exp.VarCritIC, cpu.DefaultConfig(), true)
+	cpu.ExportWindow(tr, baselinePID, name+" baseline pipeline (ts in cycles)", mBase.Dyns, mBase.Res.Records)
+	cpu.ExportWindow(tr, criticPID, name+" critic pipeline (ts in cycles)", mOpt.Dyns, mOpt.Res.Records)
+	if err := tr.Close(); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // Experiment runs one of the paper's tables/figures by id (e.g. "fig10a",

@@ -177,7 +177,7 @@ func BuildProfile(pr *prog.Program, windows []trace.Window, cfg Config) *Profile
 	// float accumulation into fanoutSum) runs serially in window index
 	// order, keeping the profile bit-identical for every worker count.
 	perWindow := make([][]dfg.Chain, len(windows))
-	sched.NewPool(max(cfg.Workers, 1)).Map(len(windows), func(i int) {
+	sched.NewPool(max(cfg.Workers, 1)).Named("profile").Map(len(windows), func(i int) {
 		perWindow[i] = dfg.Extract(windows[i].Dyns, opt)
 	})
 	for wi, w := range windows {

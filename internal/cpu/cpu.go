@@ -66,6 +66,12 @@ type Config struct {
 	// CollectRecords keeps per-instruction stage timestamps (needed for
 	// the Fig. 3 breakdowns; costs memory on big windows).
 	CollectRecords bool
+
+	// Metrics, when non-nil, receives per-window aggregates (stall
+	// attribution, cache/BPU event counts, fetch-bandwidth utilization)
+	// at the end of every Run. Nil disables all instrumentation; the hot
+	// loop pays only nil checks (see BenchmarkSimTelemetryOff/On).
+	Metrics *Metrics
 }
 
 // DefaultConfig returns the Table I baseline.
@@ -102,6 +108,10 @@ type Record struct {
 	Issued     int64 // selected for execution
 	Done       int64 // result available
 	Committed  int64
+
+	// Redirected marks a mispredicted branch/return that forced a
+	// front-end redirect (trace exports render these as markers).
+	Redirected bool
 }
 
 // Breakdown is a per-stage cycle attribution (Fig. 3a/3b).
@@ -551,6 +561,7 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 						res.Mispredicts++
 						redirectBranch = fetchIdx
 						redirected = true
+						rec[fetchIdx].Redirected = true
 					}
 				case d.Op == isa.OpBL:
 					// Calls push the return address; BTB predicts the
@@ -563,6 +574,7 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 						res.Mispredicts++
 						redirectBranch = fetchIdx
 						redirected = true
+						rec[fetchIdx].Redirected = true
 					}
 				}
 				endGroup := d.IsBranch && d.Taken
@@ -580,6 +592,9 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 			if fetchIdx < n && rec[fetchIdx].Eligible < 0 {
 				rec[fetchIdx].Eligible = now
 			}
+			if s.cfg.Metrics != nil {
+				s.cfg.Metrics.FetchBytesUsed.Observe(float64(s.cfg.FetchBytes - bytes))
+			}
 		}
 
 		now++
@@ -595,6 +610,9 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 	res.DCacheMisses = s.hier.L1D.Misses - dm0
 	res.L2Accesses = s.hier.L2.Accesses - l20
 	res.DRAMAccesses = s.hier.DRAM.Accesses - dr0
+	if m := s.cfg.Metrics; m != nil {
+		m.flushRun(&res, dyns, rec)
+	}
 	if s.cfg.CollectRecords {
 		res.Records = rec
 	}

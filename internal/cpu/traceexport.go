@@ -1,0 +1,103 @@
+package cpu
+
+import (
+	"fmt"
+	"sort"
+
+	"critics/internal/telemetry"
+	"critics/internal/trace"
+)
+
+// Chrome-trace track ids of one exported pipeline window, in Breakdown
+// field order plus a marker track. Track 1..6 carry per-instruction dwell
+// spans whose durations are exactly the BreakdownOf components, so summing a
+// track's spans reproduces the corresponding Breakdown aggregate (the
+// contract TestExportWindowMatchesBreakdown enforces).
+const (
+	tidStallI = 1 + iota // F.StallForI (§II-D)
+	tidStallRD           // F.StallForR+D (§II-D)
+	tidDecode
+	tidRename
+	tidExecute
+	tidCommit
+	tidMarkers // CDP mode switches, mispredict redirects
+)
+
+// trackNames labels the per-stage tracks in the trace UI.
+var trackNames = [...]string{
+	tidStallI:  "F.StallForI",
+	tidStallRD: "F.StallForR+D",
+	tidDecode:  "Decode wait",
+	tidRename:  "Rename/ROB wait",
+	tidExecute: "Execute",
+	tidCommit:  "Commit wait",
+	tidMarkers: "markers",
+}
+
+// ExportWindow emits one simulated window as a cycle-domain timeline under
+// its own Chrome-trace process: one track per Breakdown stage carrying each
+// instruction's dwell span (zero-length dwells are elided — they contribute
+// nothing to the stage totals), a marker track with CDP mode switches and
+// branch-mispredict redirects, and occupancy counter tracks for the fetch
+// buffer and the ROB. recs must come from a Run with CollectRecords set and
+// be aligned with dyns. Timestamps are cycles rendered as trace µs.
+func ExportWindow(tr *telemetry.Tracer, pid int, label string, dyns []trace.Dyn, recs []Record) {
+	tr.MetaProcessName(pid, label)
+	for tid := tidStallI; tid <= tidMarkers; tid++ {
+		tr.MetaThreadName(pid, tid, trackNames[tid])
+	}
+
+	fbDelta := map[int64]int64{}  // fetch-buffer occupancy deltas
+	robDelta := map[int64]int64{} // ROB occupancy deltas
+	for i := range recs {
+		r := &recs[i]
+		d := &dyns[i]
+		b := BreakdownOf(r)
+		name := d.Op.String()
+		pc := telemetry.Str("pc", fmt.Sprintf("%#x", d.Addr))
+		seq := telemetry.Int("seq", d.Seq)
+		span := func(tid int, ts, dur int64) {
+			if dur > 0 && ts >= 0 {
+				tr.Complete(pid, tid, name, "stage", ts, dur, pc, seq)
+			}
+		}
+		span(tidStallI, r.Eligible, b.FetchI)
+		span(tidStallRD, r.Fetched, b.FetchRD)
+		span(tidDecode, r.DecodeDone, b.Decode)
+		span(tidRename, r.Dispatched, b.Rename)
+		span(tidExecute, r.Issued, b.Execute)
+		span(tidCommit, r.Done, b.Commit)
+
+		if d.IsCDP && r.DecodeDone >= 0 {
+			tr.Instant(pid, tidMarkers, "CDP mode switch", "marker", r.DecodeDone, pc)
+		}
+		if r.Redirected {
+			tr.Instant(pid, tidMarkers, "mispredict redirect", "marker", r.Fetched, pc)
+		}
+		if r.Fetched >= 0 && r.DecodeDone >= r.Fetched {
+			fbDelta[r.Fetched]++
+			fbDelta[r.DecodeDone]--
+		}
+		if r.Dispatched >= 0 && r.Committed >= r.Dispatched {
+			robDelta[r.Dispatched]++
+			robDelta[r.Committed]--
+		}
+	}
+	emitOccupancy(tr, pid, "fetch buffer occupancy", fbDelta)
+	emitOccupancy(tr, pid, "ROB occupancy", robDelta)
+}
+
+// emitOccupancy turns an event-time delta map into cumulative counter
+// samples at each change point.
+func emitOccupancy(tr *telemetry.Tracer, pid int, name string, deltas map[int64]int64) {
+	ts := make([]int64, 0, len(deltas))
+	for t := range deltas {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	var cum int64
+	for _, t := range ts {
+		cum += deltas[t]
+		tr.Counter(pid, name, t, telemetry.Int("n", cum))
+	}
+}

@@ -1,0 +1,216 @@
+package cpu
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"critics/internal/dfg"
+	"critics/internal/telemetry"
+	"critics/internal/trace"
+	"critics/internal/workload"
+)
+
+// simulateWindow runs one collected window of a real app for the export
+// tests.
+func simulateWindow(t *testing.T) ([]trace.Dyn, []Record) {
+	t.Helper()
+	app, ok := workload.FindApp("acrobat")
+	if !ok {
+		t.Fatal("acrobat app missing")
+	}
+	p := workload.Generate(app.Params)
+	g := trace.NewGenerator(p, 1)
+	g.Skip(5_000)
+	dyns := g.Generate(nil, 8_000)
+	fan := dfg.Fanouts(dyns, 128)
+	cfg := DefaultConfig()
+	cfg.CollectRecords = true
+	res := New(cfg).Run(dyns, fan)
+	if res.Records == nil {
+		t.Fatal("no records collected")
+	}
+	return dyns, res.Records
+}
+
+// TestExportWindowMatchesBreakdown is the trace export's correctness
+// contract: per stage track, the exported span durations sum to exactly the
+// Breakdown aggregate of the same window.
+func TestExportWindowMatchesBreakdown(t *testing.T) {
+	dyns, recs := simulateWindow(t)
+
+	var want Breakdown
+	for i := range recs {
+		want.Add(BreakdownOf(&recs[i]))
+	}
+
+	var b bytes.Buffer
+	tr := telemetry.NewTracer(&b)
+	ExportWindow(tr, 10, "test window", dyns, recs)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int    `json:"pid"`
+			Tid int    `json:"tid"`
+			Dur int64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+
+	var got [tidMarkers + 1]int64
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Pid == 10 {
+			got[e.Tid] += e.Dur
+		}
+	}
+	checks := []struct {
+		tid  int
+		name string
+		want int64
+	}{
+		{tidStallI, "F.StallForI", want.FetchI},
+		{tidStallRD, "F.StallForR+D", want.FetchRD},
+		{tidDecode, "Decode", want.Decode},
+		{tidRename, "Rename", want.Rename},
+		{tidExecute, "Execute", want.Execute},
+		{tidCommit, "Commit", want.Commit},
+	}
+	for _, c := range checks {
+		if got[c.tid] != c.want {
+			t.Errorf("%s spans sum to %d cycles, Breakdown says %d", c.name, got[c.tid], c.want)
+		}
+	}
+	if want.Total() == 0 {
+		t.Error("degenerate window: zero total breakdown")
+	}
+}
+
+// TestExportWindowMarkers checks the marker track carries the window's
+// mispredict redirects (and CDP switches when present).
+func TestExportWindowMarkers(t *testing.T) {
+	dyns, recs := simulateWindow(t)
+	var redirects int
+	for i := range recs {
+		if recs[i].Redirected {
+			redirects++
+		}
+	}
+	if redirects == 0 {
+		t.Fatal("window has no mispredict redirects; pick a longer window")
+	}
+
+	var b bytes.Buffer
+	tr := telemetry.NewTracer(&b)
+	ExportWindow(tr, 10, "test window", dyns, recs)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var markers int
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "i" && e.Tid == tidMarkers && e.Name == "mispredict redirect" {
+			markers++
+		}
+	}
+	if markers != redirects {
+		t.Errorf("exported %d redirect markers, window had %d redirects", markers, redirects)
+	}
+}
+
+// TestMetricsFlush checks Run folds its aggregates into an attached
+// registry: stall cycles equal the Breakdown totals, cache counters equal
+// the Result deltas, and a second window accumulates.
+func TestMetricsFlush(t *testing.T) {
+	app, _ := workload.FindApp("acrobat")
+	p := workload.Generate(app.Params)
+	g := trace.NewGenerator(p, 1)
+	g.Skip(5_000)
+	dyns := g.Generate(nil, 6_000)
+	fan := dfg.Fanouts(dyns, 128)
+
+	reg := telemetry.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.CollectRecords = true
+	cfg.Metrics = NewMetrics(reg)
+	s := New(cfg)
+	res := s.Run(dyns, fan)
+
+	var want Breakdown
+	for i := range res.Records {
+		want.Add(BreakdownOf(&res.Records[i]))
+	}
+	m := cfg.Metrics
+	stall := []int64{want.FetchI, want.FetchRD, want.Decode, want.Rename, want.Execute, want.Commit}
+	for i, w := range stall {
+		if got := m.Stall[i].Value(); got != w {
+			t.Errorf("stall[%s] = %d, want %d", stallStages[i], got, w)
+		}
+	}
+	if m.Cycles.Value() != res.Cycles {
+		t.Errorf("cycles = %d, want %d", m.Cycles.Value(), res.Cycles)
+	}
+	if m.L1IAccesses.Value() != res.ICacheAccesses {
+		t.Errorf("l1i accesses = %d, want %d", m.L1IAccesses.Value(), res.ICacheAccesses)
+	}
+	if m.Mispredicts.Value() != res.Mispredicts {
+		t.Errorf("mispredicts = %d, want %d", m.Mispredicts.Value(), res.Mispredicts)
+	}
+	if m.Windows.Value() != 1 {
+		t.Errorf("windows = %d, want 1", m.Windows.Value())
+	}
+	if m.FetchBytesUsed.Count() == 0 {
+		t.Error("fetch bandwidth histogram saw no cycles")
+	}
+
+	res2 := s.Run(dyns[:3_000], fan[:3_000])
+	if m.Windows.Value() != 2 {
+		t.Errorf("windows after second run = %d, want 2", m.Windows.Value())
+	}
+	if m.Cycles.Value() != res.Cycles+res2.Cycles {
+		t.Errorf("cycles did not accumulate: %d vs %d+%d", m.Cycles.Value(), res.Cycles, res2.Cycles)
+	}
+}
+
+// TestMetricsNilIdentical proves the nil-sink path changes nothing: the
+// same window simulated with and without a metrics sink produces identical
+// results and records.
+func TestMetricsNilIdentical(t *testing.T) {
+	app, _ := workload.FindApp("acrobat")
+	p := workload.Generate(app.Params)
+	g := trace.NewGenerator(p, 1)
+	g.Skip(5_000)
+	dyns := g.Generate(nil, 6_000)
+	fan := dfg.Fanouts(dyns, 128)
+
+	run := func(m *Metrics) Result {
+		cfg := DefaultConfig()
+		cfg.CollectRecords = true
+		cfg.Metrics = m
+		return New(cfg).Run(dyns, fan)
+	}
+	off := run(nil)
+	on := run(NewMetrics(telemetry.NewRegistry()))
+	if off.Cycles != on.Cycles || off.Instrs != on.Instrs || off.Mispredicts != on.Mispredicts {
+		t.Fatalf("telemetry perturbed results: off %+v on %+v", off, on)
+	}
+	for i := range off.Records {
+		if off.Records[i] != on.Records[i] {
+			t.Fatalf("record %d differs with telemetry on", i)
+		}
+	}
+}

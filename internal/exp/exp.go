@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 	"unsafe"
 
 	"critics/internal/compiler"
@@ -25,6 +26,7 @@ import (
 	"critics/internal/dfg"
 	"critics/internal/prog"
 	"critics/internal/sched"
+	"critics/internal/telemetry"
 	"critics/internal/trace"
 	"critics/internal/workload"
 )
@@ -56,6 +58,11 @@ type Context struct {
 	profs    *sched.Memo[*core.Profile]
 	variants *sched.Memo[variantEntry]
 	meas     *sched.Memo[*Measurement]
+
+	// Observability hooks (telemetry.go); both nil by default, costing the
+	// engine nothing.
+	tel    *Telemetry
+	tracer *telemetry.Tracer
 }
 
 type variantEntry struct {
@@ -101,7 +108,7 @@ func (c *Context) workers() int {
 // the full generator parameter set (workload seed included).
 func (c *Context) Program(a workload.App) *prog.Program {
 	key := sched.KeyOf("prog", a.Params)
-	return c.progs.Get(key, func() *prog.Program {
+	return memoGet(c, c.progs, "program "+a.Params.Name, key, func() *prog.Program {
 		return workload.Generate(a.Params)
 	}, nil)
 }
@@ -114,7 +121,7 @@ func (c *Context) Program(a workload.App) *prog.Program {
 // so the profile is identical for every worker count).
 func (c *Context) Profile(a workload.App, ideal bool, windowsFrac float64) *core.Profile {
 	key := sched.KeyOf("prof", a.Params, ideal, windowsFrac, c.ProfilePlan)
-	return c.profs.Get(key, func() *core.Profile {
+	return memoGet(c, c.profs, "profile "+a.Params.Name, key, func() *core.Profile {
 		p := c.Program(a)
 		ws := trace.Collect(p, a.Params.Seed, c.ProfilePlan)
 		if windowsFrac > 0 && windowsFrac < 1 {
@@ -152,7 +159,7 @@ const (
 // depends on.
 func (c *Context) Variant(a workload.App, kind string) (*prog.Program, compiler.Stats) {
 	key := sched.KeyOf("variant", a.Params, kind, c.ProfilePlan)
-	v := c.variants.Get(key, func() variantEntry {
+	v := memoGet(c, c.variants, "variant "+a.Params.Name+"/"+kind, key, func() variantEntry {
 		p, st := c.buildVariant(a, kind)
 		return variantEntry{p: p, st: st}
 	}, nil)
@@ -244,6 +251,12 @@ func Speedup(base, opt *Measurement) float64 {
 // This is the uncached primitive; experiment runners go through
 // MeasureVariant, which memoizes the result.
 func (c *Context) Measure(p *prog.Program, cfg cpu.Config, collect bool) *Measurement {
+	if c.tel != nil {
+		cfg.Metrics = c.tel.Sim
+		defer func(start time.Time) {
+			c.tel.MeasureSeconds.Observe(time.Since(start).Seconds())
+		}(time.Now())
+	}
 	g := trace.NewGenerator(p, c.Seed)
 	g.SkipArch(c.WarmupArch)
 	warm := g.GenerateArch(nil, c.WarmArch)
@@ -268,9 +281,14 @@ func (c *Context) Measure(p *prog.Program, cfg cpu.Config, collect bool) *Measur
 // window/profiling scale. The returned Measurement is shared — callers must
 // treat it as read-only.
 func (c *Context) MeasureVariant(a workload.App, kind string, cfg cpu.Config, collect bool) *Measurement {
-	key := sched.KeyOf("meas", a.Params, kind, cfg, collect,
+	// Telemetry sinks never participate in cache identity: the key covers
+	// the simulated configuration only, and Measure re-attaches the
+	// context's sink after the lookup.
+	kcfg := cfg
+	kcfg.Metrics = nil
+	key := sched.KeyOf("meas", a.Params, kind, kcfg, collect,
 		c.Seed, c.WarmupArch, c.WarmArch, c.MeasureArch, c.ProfilePlan)
-	return c.meas.Get(key, func() *Measurement {
+	return memoGet(c, c.meas, "measure "+a.Params.Name+"/"+kind, key, func() *Measurement {
 		p, _ := c.Variant(a, kind)
 		return c.Measure(p, cfg, collect)
 	}, measurementCost)
@@ -332,7 +350,11 @@ var SuiteOrder = []string{"spec.int", "spec.float", "android"}
 // order-sensitive reductions happen after it returns (the sched package's
 // determinism contract).
 func (c *Context) forEach(n int, f func(i int)) {
-	sched.NewPool(c.workers()).Map(n, f)
+	p := sched.NewPool(c.workers()).Named("exp")
+	if c.tel != nil {
+		p.Instrument(c.tel.Pool)
+	}
+	p.Map(n, f)
 }
 
 // critBreakdown aggregates the per-stage residency of the high-fanout

@@ -3,6 +3,9 @@ package exp
 import (
 	"fmt"
 	"sort"
+	"time"
+
+	"critics/internal/telemetry"
 )
 
 // Runner executes one experiment and returns its formatted report.
@@ -45,11 +48,28 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes the experiment with the given id.
+// Run executes the experiment with the given id. With telemetry attached it
+// observes the run's wall time under critics_experiment_seconds{exp=id};
+// with a tracer attached it wraps the run in an engine-level span.
 func Run(id string, c *Context) (string, error) {
 	r, ok := registry[id]
 	if !ok {
 		return "", fmt.Errorf("exp: unknown experiment %q (known: %v)", id, IDs())
 	}
-	return r(c), nil
+	var spanStart int64
+	if c.tracer != nil {
+		spanStart = c.tracer.Now()
+	}
+	start := time.Now()
+	out := r(c)
+	if c.tel != nil {
+		c.tel.reg.Histogram("critics_experiment_seconds",
+			"Wall time per experiment run by id.",
+			expSecondsBuckets, telemetry.L("exp", id)).
+			Observe(time.Since(start).Seconds())
+	}
+	if c.tracer != nil {
+		c.tracer.Span(telemetry.EnginePID, "exp:"+id, "experiment", spanStart, c.tracer.Now()-spanStart)
+	}
+	return out, nil
 }

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"critics/internal/cpu"
+	"critics/internal/sched"
+	"critics/internal/telemetry"
+)
+
+// Telemetry bundles the experiment engine's registry series. It is built by
+// Context.SetTelemetry; a nil bundle (the default) disables all
+// instrumentation.
+type Telemetry struct {
+	reg *telemetry.Registry
+
+	// Sim is shared by every simulator the context runs (Context.Measure
+	// attaches it to the cpu.Config after memo keys are computed, so
+	// telemetry never perturbs cache identity).
+	Sim *cpu.Metrics
+
+	// Pool instruments the per-app shard pool (Context.forEach).
+	Pool *sched.PoolMetrics
+
+	// MeasureSeconds observes the wall time of each uncached Measure call
+	// (trace generation + DFG + warm-up + measured simulation).
+	MeasureSeconds *telemetry.Histogram
+}
+
+// expSecondsBuckets cover 10ms..~5min experiment wall times.
+var expSecondsBuckets = telemetry.ExpBuckets(0.01, 2, 15)
+
+// SetTelemetry attaches a metrics registry to the context: simulator, pool
+// and per-experiment series are registered eagerly, and the memo caches are
+// folded in as scrape-time functions reading the caches' own atomic
+// counters — the same source of truth CacheStats reports, with no double
+// bookkeeping.
+func (c *Context) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		c.tel = nil
+		return
+	}
+	c.tel = &Telemetry{
+		reg:  reg,
+		Sim:  cpu.NewMetrics(reg),
+		Pool: sched.NewPoolMetrics(reg, "exp"),
+		MeasureSeconds: reg.Histogram("critics_measure_seconds",
+			"Wall time of uncached measurement builds (trace+DFG+simulate).",
+			expSecondsBuckets),
+	}
+	registerMemo(reg, "programs", c.progs)
+	registerMemo(reg, "profiles", c.profs)
+	registerMemo(reg, "variants", c.variants)
+	registerMemo(reg, "measurements", c.meas)
+}
+
+// Registry returns the attached registry (nil when telemetry is off).
+func (c *Context) Registry() *telemetry.Registry {
+	if c.tel == nil {
+		return nil
+	}
+	return c.tel.reg
+}
+
+// SetTracer attaches a Chrome trace-event tracer; engine-level spans
+// (experiments, memo lookups with hit/miss) are emitted on
+// telemetry.EnginePID while it is non-nil.
+func (c *Context) SetTracer(tr *telemetry.Tracer) { c.tracer = tr }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (c *Context) Tracer() *telemetry.Tracer { return c.tracer }
+
+// registerMemo exposes one memo cache's counters on the registry, reading
+// the cache's own atomics at scrape time.
+func registerMemo[V any](reg *telemetry.Registry, name string, m *sched.Memo[V]) {
+	l := telemetry.L("cache", name)
+	reg.CounterFunc("critics_memo_hits_total", "Memo cache hits by cache.",
+		func() float64 { return float64(m.Stats().Hits) }, l)
+	reg.CounterFunc("critics_memo_misses_total", "Memo cache misses by cache.",
+		func() float64 { return float64(m.Stats().Misses) }, l)
+	reg.CounterFunc("critics_memo_skipped_total", "Values computed but not retained (budget exhausted) by cache.",
+		func() float64 { return float64(m.Stats().Skipped) }, l)
+	reg.GaugeFunc("critics_memo_entries", "Retained memo entries by cache.",
+		func() float64 { return float64(m.Len()) }, l)
+	reg.GaugeFunc("critics_memo_bytes", "Summed retention cost of memo entries by cache.",
+		func() float64 { return float64(m.UsedBytes()) }, l)
+}
+
+// memoGet wraps a memo lookup with an engine-level trace span labeled with
+// the hit/miss outcome. With no tracer attached it is exactly Memo.Get.
+func memoGet[V any](c *Context, m *sched.Memo[V], span string, key sched.Key, build func() V, cost func(V) int64) V {
+	tr := c.tracer
+	if tr == nil {
+		return m.Get(key, build, cost)
+	}
+	t0 := tr.Now()
+	v, hit := m.GetHit(key, build, cost)
+	tr.Span(telemetry.EnginePID, span, "memo", t0, tr.Now()-t0, telemetry.Bool("hit", hit))
+	return v
+}

@@ -95,12 +95,20 @@ func NewMemo[V any](budgetBytes int64) *Memo[V] {
 // reports the retention cost of a freshly built value in bytes (nil = 1).
 // Concurrent callers of the same key share one build.
 func (m *Memo[V]) Get(k Key, build func() V, cost func(V) int64) V {
+	v, _ := m.GetHit(k, build, cost)
+	return v
+}
+
+// GetHit is Get plus whether the lookup was a cache hit (a shared
+// single-flight build counts as a hit for every caller but the builder) —
+// the hook trace exports use to label memo spans.
+func (m *Memo[V]) GetHit(k Key, build func() V, cost func(V) int64) (V, bool) {
 	m.mu.Lock()
 	if e, ok := m.entries[k]; ok {
 		m.mu.Unlock()
 		<-e.done
 		m.hits.Add(1)
-		return e.val
+		return e.val, true
 	}
 	e := &entry[V]{done: make(chan struct{})}
 	m.entries[k] = e
@@ -124,7 +132,7 @@ func (m *Memo[V]) Get(k Key, build func() V, cost func(V) int64) V {
 		m.used += c
 	}
 	m.mu.Unlock()
-	return e.val
+	return e.val, false
 }
 
 // Stats returns the current hit/miss counters.

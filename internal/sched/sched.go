@@ -14,15 +14,22 @@
 package sched
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
+
+	"critics/internal/telemetry"
 )
 
 // Pool is a bounded worker pool. The zero value is not useful; construct
-// with NewPool. Pools carry no state beyond the worker bound, so they are
-// cheap to create per call site.
+// with NewPool. Pools carry no state beyond the worker bound and optional
+// observability hooks, so they are cheap to create per call site.
 type Pool struct {
 	workers int
+	name    string
+	metrics *PoolMetrics
 }
 
 // NewPool returns a pool running at most workers goroutines. workers <= 0
@@ -31,16 +38,52 @@ func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: workers}
+	return &Pool{workers: workers, name: "pool"}
+}
+
+// Named sets the pool's name, used for pprof goroutine labels and metric
+// labels, and returns the pool for chaining.
+func (p *Pool) Named(name string) *Pool {
+	p.name = name
+	return p
+}
+
+// Instrument attaches metrics (nil disables) and returns the pool for
+// chaining.
+func (p *Pool) Instrument(m *PoolMetrics) *Pool {
+	p.metrics = m
+	return p
 }
 
 // Workers returns the resolved worker bound.
 func (p *Pool) Workers() int { return p.workers }
 
+// PoolMetrics are a pool's registry series; share one bundle across pools
+// created for the same purpose (they are labeled by pool name, not
+// instance).
+type PoolMetrics struct {
+	QueueDepth  *telemetry.Gauge   // shards still queued
+	BusyWorkers *telemetry.Gauge   // shards currently executing
+	TasksDone   *telemetry.Counter // shards completed
+}
+
+// NewPoolMetrics registers the pool metric families on reg under the given
+// pool name label.
+func NewPoolMetrics(reg *telemetry.Registry, pool string) *PoolMetrics {
+	l := telemetry.L("pool", pool)
+	return &PoolMetrics{
+		QueueDepth:  reg.Gauge("critics_pool_queue_depth", "Shards waiting in the pool queue.", l),
+		BusyWorkers: reg.Gauge("critics_pool_busy_workers", "Workers currently executing a shard.", l),
+		TasksDone:   reg.Counter("critics_pool_tasks_done_total", "Shards completed by the pool.", l),
+	}
+}
+
 // Map runs f(i) for every i in [0, n) across the pool's workers and waits
 // for completion. With one worker (or n <= 1) the shards run serially in
 // index order on the calling goroutine — the reference schedule that
-// parallel runs must be bit-identical to.
+// parallel runs must be bit-identical to. Worker goroutines carry pprof
+// labels (pool name, worker index) and each shard additionally carries its
+// shard index, so CPU profiles attribute time to experiment shards.
 func (p *Pool) Map(n int, f func(i int)) {
 	if n <= 0 {
 		return
@@ -49,9 +92,18 @@ func (p *Pool) Map(n int, f func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	m := p.metrics
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if m != nil {
+				m.QueueDepth.Set(int64(n - i - 1))
+				m.BusyWorkers.Set(1)
+			}
 			f(i)
+			if m != nil {
+				m.BusyWorkers.Set(0)
+				m.TasksDone.Inc()
+			}
 		}
 		return
 	}
@@ -63,12 +115,25 @@ func (p *Pool) Map(n int, f func(i int)) {
 	close(next)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
+			labels := pprof.Labels("pool", p.name, "worker", strconv.Itoa(worker))
+			pprof.Do(context.Background(), labels, func(ctx context.Context) {
+				for i := range next {
+					if m != nil {
+						m.QueueDepth.Set(int64(len(next)))
+						m.BusyWorkers.Add(1)
+					}
+					pprof.Do(ctx, pprof.Labels("shard", strconv.Itoa(i)), func(context.Context) {
+						f(i)
+					})
+					if m != nil {
+						m.BusyWorkers.Add(-1)
+						m.TasksDone.Inc()
+					}
+				}
+			})
+		}(w)
 	}
 	wg.Wait()
 }

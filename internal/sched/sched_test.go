@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"critics/internal/telemetry"
 )
 
 func TestMapCoversAllIndices(t *testing.T) {
@@ -116,5 +118,38 @@ func TestStatsString(t *testing.T) {
 	}
 	if s.String() == "" {
 		t.Error("empty stats string")
+	}
+}
+
+// TestPoolMetrics checks the instrumented pool accounts every shard and
+// leaves the busy gauge at zero, serially and in parallel.
+func TestPoolMetrics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		reg := telemetry.NewRegistry()
+		m := NewPoolMetrics(reg, "test")
+		var ran atomic.Int64
+		NewPool(workers).Named("test").Instrument(m).Map(100, func(i int) {
+			ran.Add(1)
+		})
+		if ran.Load() != 100 {
+			t.Fatalf("workers=%d: ran %d shards, want 100", workers, ran.Load())
+		}
+		if m.TasksDone.Value() != 100 {
+			t.Errorf("workers=%d: tasks done = %d, want 100", workers, m.TasksDone.Value())
+		}
+		if m.BusyWorkers.Value() != 0 {
+			t.Errorf("workers=%d: busy workers = %d after Map returned", workers, m.BusyWorkers.Value())
+		}
+	}
+}
+
+// TestGetHit checks the hit/miss report: builder misses, later callers hit.
+func TestGetHit(t *testing.T) {
+	m := NewMemo[int](0)
+	if _, hit := m.GetHit(KeyOf("k"), func() int { return 1 }, nil); hit {
+		t.Error("first lookup reported a hit")
+	}
+	if v, hit := m.GetHit(KeyOf("k"), func() int { t.Error("rebuilt"); return 0 }, nil); !hit || v != 1 {
+		t.Errorf("second lookup: v=%d hit=%v, want 1 true", v, hit)
 	}
 }

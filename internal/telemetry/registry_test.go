@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines — series
+// registration, counter/gauge/histogram updates, and scrapes all at once —
+// and checks the final values. Run under -race (CI does) this is the
+// concurrency-safety proof for the registry.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 8
+	const iters = 2000
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Re-resolve the series every iteration: registration must be
+			// as safe under contention as the updates themselves.
+			for i := 0; i < iters; i++ {
+				reg.Counter("test_ops_total", "ops").Inc()
+				reg.Counter("test_ops_by_worker_total", "ops by worker", L("worker", string(rune('a'+g)))).Inc()
+				reg.Gauge("test_depth", "depth").Set(int64(i))
+				reg.Histogram("test_lat", "lat", []float64{1, 10, 100}).Observe(float64(i % 200))
+			}
+		}(g)
+	}
+	// Concurrent scrapes while the writers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var b bytes.Buffer
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := reg.Counter("test_ops_total", "ops").Value(); got != goroutines*iters {
+		t.Errorf("ops counter = %d, want %d", got, goroutines*iters)
+	}
+	for g := 0; g < goroutines; g++ {
+		c := reg.Counter("test_ops_by_worker_total", "ops by worker", L("worker", string(rune('a'+g))))
+		if c.Value() != iters {
+			t.Errorf("worker %d counter = %d, want %d", g, c.Value(), iters)
+		}
+	}
+	h := reg.Histogram("test_lat", "lat", []float64{1, 10, 100})
+	if h.Count() != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), goroutines*iters)
+	}
+}
+
+// buildFixedRegistry populates a registry with deterministic values for the
+// golden exposition test.
+func buildFixedRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("critics_sim_cycles_total", "Simulated core cycles.").Add(123456)
+	reg.Counter("critics_cache_accesses_total", "Cache accesses by level.", L("level", "l1i")).Add(100)
+	reg.Counter("critics_cache_accesses_total", "Cache accesses by level.", L("level", "l1d")).Add(50)
+	reg.Gauge("critics_pool_busy_workers", "Workers currently executing a shard.", L("pool", "exp")).Set(3)
+	reg.GaugeFunc("critics_memo_entries", "Retained memo entries by cache.",
+		func() float64 { return 7 }, L("cache", "programs"))
+	h := reg.Histogram("critics_sim_fetch_bytes_used", "Fetch port bytes consumed per active fetch cycle.",
+		LinearBuckets(0, 2, 5))
+	for _, v := range []float64{0, 2, 2, 5, 8, 9} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// TestWritePrometheusGolden locks the exposition format: families and
+// series in sorted order, histogram buckets cumulative with le labels.
+// Update with -update after intentional format changes.
+func TestWritePrometheusGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := buildFixedRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if update() {
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", b.Bytes(), want)
+	}
+}
+
+// TestServeHTTP covers the scrape endpoint: content type and a parseable
+// body (every non-comment line is "name{labels} value").
+func TestServeHTTP(t *testing.T) {
+	reg := buildFixedRegistry()
+	rec := httptest.NewRecorder()
+	reg.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(rec.Body.String()), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("unparseable exposition line %q", line)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateFlag = flag.Bool("update", false, "rewrite golden files")
+
+func update() bool { return *updateFlag }
+
+// buildFixedTrace emits a small, fully deterministic event sequence (no
+// wall-clock reads).
+func buildFixedTrace(t *testing.T) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	tr := NewTracer(&b)
+	tr.MetaProcessName(EnginePID, "engine (wall-clock µs)")
+	tr.MetaProcessName(10, "pipeline (ts in cycles)")
+	tr.MetaThreadName(10, 1, "F.StallForI")
+	tr.Complete(10, 1, "LDR", "stage", 5, 12, Str("pc", "0x8004"), Int("seq", 42))
+	tr.Complete(10, 1, "ADD", "stage", 20, 1)
+	tr.Instant(10, 7, "CDP mode switch", "marker", 21, Str("pc", "0x8008"))
+	tr.Counter(10, "ROB occupancy", 5, Int("n", 3))
+	tr.Span(EnginePID, "measure acrobat/base", "memo", 0, 100, Bool("hit", false))
+	tr.Span(EnginePID, "measure acrobat/base", "memo", 50, 10, Bool("hit", true)) // overlaps: second lane
+	tr.Span(EnginePID, "exp:fig10a", "experiment", 150, 25)                       // lane 1 free again
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestTracerGolden locks the Chrome trace-event output byte-for-byte:
+// stable field ordering is what makes trace exports diffable and testable.
+func TestTracerGolden(t *testing.T) {
+	got := buildFixedTrace(t)
+	golden := filepath.Join("testdata", "trace.golden")
+	if update() {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestTracerValidJSON checks the document parses as the Chrome trace JSON
+// object format and that lane allocation kept overlapping spans on
+// distinct tids.
+func TestTracerValidJSON(t *testing.T) {
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	raw := buildFixedTrace(t)
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, raw)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var lanes []int
+	for _, e := range doc.TraceEvents {
+		if e.Pid == EnginePID && e.Ph == "X" && e.Name == "measure acrobat/base" {
+			lanes = append(lanes, e.Tid)
+		}
+	}
+	if len(lanes) != 2 || lanes[0] == lanes[1] {
+		t.Errorf("overlapping engine spans should occupy distinct lanes, got tids %v", lanes)
+	}
+}

@@ -1,0 +1,347 @@
+// Command criticctl is the client for criticd, the profiling-and-
+// optimization daemon.
+//
+// Usage:
+//
+//	criticctl [-addr http://host:port] <command> [flags]
+//
+//	criticctl submit -app acrobat -quick -wait     # run and print the report
+//	criticctl submit -exp fig10a                   # enqueue, print the job id
+//	criticctl status j000001
+//	criticctl wait j000001 -timeout 2m
+//	criticctl result j000001 -o result.json
+//	criticctl cancel j000001
+//	criticctl bench -n 16 -c 4 -app acrobat -quick # throughput + latency
+//	criticctl apps
+//	criticctl experiments
+//
+// The daemon address comes from -addr or $CRITICD_ADDR (default
+// http://127.0.0.1:9720).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"critics/internal/server"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: criticctl [-addr URL] <command> [flags]
+
+commands:
+  submit       submit a job (-app or -exp; -wait to block for the result)
+  status       print one job's status        (criticctl status <id>)
+  result       print a succeeded job's result (criticctl result <id> [-o file])
+  wait         poll until the job finishes    (criticctl wait <id> [-timeout d])
+  cancel       cancel a queued or running job (criticctl cancel <id>)
+  bench        fire N concurrent jobs and report throughput and latency
+  apps         list the workload catalog
+  experiments  list runnable experiment ids
+`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "criticctl:", err)
+	os.Exit(1)
+}
+
+func main() {
+	defaultAddr := os.Getenv("CRITICD_ADDR")
+	if defaultAddr == "" {
+		defaultAddr = "http://127.0.0.1:9720"
+	}
+	addr := flag.String("addr", defaultAddr, "criticd base URL (or $CRITICD_ADDR)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	c := server.NewClient(*addr)
+	ctx := context.Background()
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	switch cmd {
+	case "submit":
+		cmdSubmit(ctx, c, args)
+	case "status":
+		id, fs := idArg("status", args)
+		_ = fs
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			fatal(err)
+		}
+		printStatus(st)
+	case "result":
+		fs := flag.NewFlagSet("result", flag.ExitOnError)
+		out := fs.String("o", "", "write the raw result JSON to this file instead of stdout")
+		id := parseID(fs, args)
+		res, err := c.Result(ctx, id)
+		if err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, res, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("result written to %s (%d bytes)\n", *out, len(res))
+			return
+		}
+		printResultText(res)
+	case "wait":
+		fs := flag.NewFlagSet("wait", flag.ExitOnError)
+		timeout := fs.Duration("timeout", 10*time.Minute, "give up after this long (0 = forever)")
+		id := parseID(fs, args)
+		st, err := c.Wait(ctx, id, *timeout)
+		if err != nil {
+			fatal(err)
+		}
+		printStatus(st)
+		if st.State != server.StateSucceeded {
+			os.Exit(1)
+		}
+	case "cancel":
+		id, _ := idArg("cancel", args)
+		st, err := c.Cancel(ctx, id)
+		if err != nil {
+			fatal(err)
+		}
+		printStatus(st)
+	case "bench":
+		cmdBench(ctx, c, args)
+	case "apps":
+		suites, err := c.Apps(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		names := make([]string, 0, len(suites))
+		for s := range suites {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		for _, s := range names {
+			fmt.Printf("%s:\n", s)
+			for _, a := range suites[s] {
+				fmt.Printf("  %s\n", a)
+			}
+		}
+	case "experiments":
+		ids, err := c.Experiments(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "criticctl: unknown command %q\n\n", cmd)
+		usage()
+	}
+}
+
+// idArg parses "<command> <id>" with no extra flags.
+func idArg(name string, args []string) (string, *flag.FlagSet) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return parseID(fs, args), fs
+}
+
+// parseID accepts the job id before or after the subcommand flags.
+func parseID(fs *flag.FlagSet, args []string) string {
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		_ = fs.Parse(args[1:])
+		return args[0]
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "criticctl: missing job id")
+		os.Exit(2)
+	}
+	return fs.Arg(0)
+}
+
+func printStatus(st server.JobStatus) {
+	fmt.Printf("job %s  kind=%s", st.ID, st.Kind)
+	if st.App != "" {
+		fmt.Printf(" app=%s", st.App)
+	}
+	if st.Experiment != "" {
+		fmt.Printf(" exp=%s", st.Experiment)
+	}
+	fmt.Printf("  state=%s", st.State)
+	if d := st.Duration(); d > 0 {
+		fmt.Printf("  elapsed=%.2fs", d.Seconds())
+	}
+	if st.Error != "" {
+		fmt.Printf("  error=%q retryable=%v", st.Error, st.Retryable)
+	}
+	fmt.Println()
+}
+
+// printResultText prints the result's human-readable text (the full JSON
+// document is available with result -o).
+func printResultText(res []byte) {
+	var doc server.Result
+	if err := json.Unmarshal(res, &doc); err != nil || doc.Text == "" {
+		os.Stdout.Write(res)
+		fmt.Println()
+		return
+	}
+	fmt.Print(doc.Text)
+}
+
+func cmdSubmit(ctx context.Context, c *server.Client, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		app     = fs.String("app", "", "app to optimize/profile/trace")
+		expID   = fs.String("exp", "", "experiment id to run")
+		kind    = fs.String("kind", "", "job kind: optimize (default with -app), profile, experiment (default with -exp), trace")
+		quick   = fs.Bool("quick", false, "reduced-scale windows")
+		workers = fs.Int("workers", 0, "per-job shard pool bound (0 = daemon default)")
+		measure = fs.Int("measure-instrs", 0, "measured window override, architectural instructions")
+		timeout = fs.Duration("timeout", 0, "per-job deadline (0 = daemon default)")
+		idemKey = fs.String("idempotency-key", "", "safe-retry key: resubmits return the existing job")
+		wait    = fs.Bool("wait", false, "block until the job finishes and print its result")
+		waitFor = fs.Duration("wait-timeout", 10*time.Minute, "give up waiting after this long (with -wait)")
+	)
+	_ = fs.Parse(args)
+	req := server.SubmitRequest{
+		Kind:           server.JobKind(*kind),
+		App:            *app,
+		Experiment:     *expID,
+		Quick:          *quick,
+		Workers:        *workers,
+		MeasureInstrs:  *measure,
+		TimeoutMS:      timeout.Milliseconds(),
+		IdempotencyKey: *idemKey,
+	}
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		fatal(err)
+	}
+	printStatus(st)
+	if !*wait {
+		return
+	}
+	st, err = c.Wait(ctx, st.ID, *waitFor)
+	if err != nil {
+		fatal(err)
+	}
+	if st.State != server.StateSucceeded {
+		printStatus(st)
+		os.Exit(1)
+	}
+	res, err := c.Result(ctx, st.ID)
+	if err != nil {
+		fatal(err)
+	}
+	printResultText(res)
+}
+
+// cmdBench fires -n jobs with -c submitters and reports wall-clock
+// throughput plus per-job latency percentiles (submit → terminal). Queue-
+// full rejections are retried after the server's Retry-After hint, so bench
+// doubles as an admission-control exerciser.
+func cmdBench(ctx context.Context, c *server.Client, args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		n       = fs.Int("n", 16, "total jobs")
+		conc    = fs.Int("c", 4, "concurrent submitters")
+		app     = fs.String("app", "acrobat", "app to optimize")
+		quick   = fs.Bool("quick", true, "reduced-scale windows")
+		timeout = fs.Duration("timeout", 10*time.Minute, "overall deadline")
+	)
+	_ = fs.Parse(args)
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	type outcome struct {
+		latency time.Duration
+		state   server.JobState
+		retries int
+		err     error
+	}
+	results := make([]outcome, *n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(*conc, 1))
+	start := time.Now()
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			var st server.JobStatus
+			var err error
+			for {
+				st, err = c.Submit(ctx, server.SubmitRequest{Kind: server.KindOptimize, App: *app, Quick: *quick})
+				var apiErr *server.APIError
+				if errors.As(err, &apiErr) && apiErr.Code == 429 {
+					results[i].retries++
+					select {
+					case <-ctx.Done():
+						results[i].err = ctx.Err()
+						return
+					case <-time.After(apiErr.RetryAfter + time.Duration(i%7)*13*time.Millisecond):
+					}
+					continue
+				}
+				break
+			}
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			st, err = c.Wait(ctx, st.ID, 0)
+			results[i].err = err
+			results[i].state = st.State
+			results[i].latency = time.Since(t0)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var ok int
+	var lats []time.Duration
+	var retries int
+	for _, r := range results {
+		retries += r.retries
+		if r.err == nil && r.state == server.StateSucceeded {
+			ok++
+			lats = append(lats, r.latency)
+		} else if r.err != nil {
+			fmt.Fprintln(os.Stderr, "criticctl: bench job:", r.err)
+		}
+	}
+	fmt.Printf("bench: %d/%d jobs succeeded in %.2fs (%.2f jobs/s), %d queue-full retries\n",
+		ok, *n, wall.Seconds(), float64(ok)/wall.Seconds(), retries)
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("latency: p50=%.3fs p90=%.3fs p99=%.3fs max=%.3fs\n",
+			pct(lats, 50).Seconds(), pct(lats, 90).Seconds(), pct(lats, 99).Seconds(),
+			lats[len(lats)-1].Seconds())
+	}
+	if ok != *n {
+		os.Exit(1)
+	}
+}
+
+// pct returns the p-th percentile of sorted durations (nearest-rank).
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	return sorted[i-1]
+}

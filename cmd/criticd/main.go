@@ -1,0 +1,106 @@
+// Command criticd is the long-lived profiling-and-optimization daemon: a
+// REST/JSON service over a bounded job queue that profiles, optimizes and
+// simulates apps on demand, sharing one artifact cache across all requests.
+//
+// Usage:
+//
+//	criticd                                # defaults: :9720, queue 64, 2 jobs
+//	criticd -addr 127.0.0.1:0              # ephemeral port (printed on stdout)
+//	criticd -queue 128 -jobs 4 -job-workers 8
+//	criticd -quick -job-timeout 2m         # reduced windows, tighter deadline
+//
+// Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}[/result], DELETE
+// /v1/jobs/{id}, GET /v1/apps, /v1/experiments, /healthz, /readyz,
+// /metrics. cmd/criticctl is the matching client.
+//
+// SIGINT/SIGTERM drain gracefully: readiness flips to 503, queued jobs fail
+// with a retryable status, in-flight jobs complete (up to -drain-timeout),
+// then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"critics/internal/server"
+	"critics/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":9720", "listen address (host:port; port 0 picks one)")
+		queueSize    = flag.Int("queue", 64, "bounded job queue size (full queue refuses with 429)")
+		jobs         = flag.Int("jobs", 2, "jobs executing concurrently")
+		jobWorkers   = flag.Int("job-workers", 0, "per-job shard pool bound (0 = GOMAXPROCS)")
+		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "default per-job deadline (requests may set their own)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "grace for in-flight jobs at shutdown")
+		quick        = flag.Bool("quick", false, "force reduced-scale windows for every job")
+		verbose      = flag.Bool("v", false, "structured request/job log on stderr")
+	)
+	flag.Parse()
+
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelInfo
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	reg := telemetry.NewRegistry()
+	srv := server.New(server.Config{
+		QueueSize:  *queueSize,
+		Workers:    *jobs,
+		JobWorkers: *jobWorkers,
+		JobTimeout: *jobTimeout,
+		QuickScale: *quick,
+		Registry:   reg,
+		Logger:     logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "criticd:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	// The one line scripts parse: the resolved address, including an
+	// ephemeral port when -addr ended in :0.
+	fmt.Printf("criticd listening on http://%s\n", ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String(), "queue", *queueSize, "jobs", *jobs)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		logger.Info("draining", "signal", sig.String(), "grace", drainTimeout.String())
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "criticd:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain order: refuse new work and finish jobs first, then close the
+	// HTTP listener so late status polls still get answers while jobs run.
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "criticd: drain incomplete:", err)
+		_ = hs.Shutdown(context.Background())
+		os.Exit(1)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "criticd:", err)
+		os.Exit(1)
+	}
+	logger.Info("drained cleanly")
+}

@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"critics"
@@ -109,6 +110,9 @@ func main() {
 			fmt.Println(id)
 		}
 	case *app != "":
+		// Validate before any side effect (notably the -trace-out file) so
+		// a typo fails cleanly with the valid names and nothing half-created.
+		requireValidName("app", *app, critics.AppNames())
 		start := time.Now()
 		var (
 			rep *critics.Report
@@ -181,6 +185,7 @@ func main() {
 			closeTrace(tracer, traceFile)
 		}
 	case *expID != "":
+		requireValidName("experiment", *expID, critics.ExperimentIDs())
 		var tracer *telemetry.Tracer
 		var traceFile *os.File
 		if *traceOut != "" {
@@ -207,4 +212,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// requireValidName exits 1 with the full list of valid names when name is
+// not one of them.
+func requireValidName(kind, name string, valid []string) {
+	for _, v := range valid {
+		if v == name {
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "criticsim: unknown %s %q (valid: %s)\n", kind, name, strings.Join(valid, ", "))
+	os.Exit(1)
 }

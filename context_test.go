@@ -1,0 +1,82 @@
+package critics
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestContextPreCancelled: a cancelled context fails every context-taking
+// entry point quickly with the context's error, not a partial result.
+func TestContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	t0 := time.Now()
+	if _, err := OptimizeAppContext(ctx, "acrobat", WithQuickScale()); !errors.Is(err, context.Canceled) {
+		t.Errorf("OptimizeAppContext: %v, want context.Canceled", err)
+	}
+	if _, err := BuildProfileContext(ctx, "acrobat", WithQuickScale()); !errors.Is(err, context.Canceled) {
+		t.Errorf("BuildProfileContext: %v, want context.Canceled", err)
+	}
+	if _, err := ExperimentContext(ctx, "tab1", WithQuickScale()); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExperimentContext: %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Errorf("pre-cancelled calls took %v; cancellation is not early", elapsed)
+	}
+}
+
+// TestContextWrappersIdentical: the context-free wrappers are the
+// background-context calls — same report either way.
+func TestContextWrappersIdentical(t *testing.T) {
+	direct, err := OptimizeApp("maps", WithQuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := OptimizeAppContext(context.Background(), "maps", WithQuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.String() != viaCtx.String() {
+		t.Errorf("wrapper and context call disagree:\n%s\nvs\n%s", direct, viaCtx)
+	}
+}
+
+// TestSharedCachesAcrossCalls: a SharedCaches bundle carries artifacts
+// between otherwise independent calls, and a cancelled call does not poison
+// it for the next one.
+func TestSharedCachesAcrossCalls(t *testing.T) {
+	shared := NewSharedCaches()
+	if _, err := OptimizeApp("acrobat", WithQuickScale(), WithSharedCaches(shared)); err != nil {
+		t.Fatal(err)
+	}
+	before := shared.Stats()
+	if _, err := OptimizeApp("acrobat", WithQuickScale(), WithSharedCaches(shared)); err != nil {
+		t.Fatal(err)
+	}
+	after := shared.Stats()
+	if after.Measurements.Hits <= before.Measurements.Hits {
+		t.Errorf("no measurement cache hits on the repeat call: %+v -> %+v", before, after)
+	}
+
+	// A cancelled run against the same bundle must not retain partial
+	// artifacts that would corrupt a later clean run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OptimizeAppContext(ctx, "music", WithQuickScale(), WithSharedCaches(shared)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled shared-cache run: %v", err)
+	}
+	clean, err := OptimizeApp("music", WithQuickScale(), WithSharedCaches(shared))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := OptimizeApp("music", WithQuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.String() != direct.String() {
+		t.Errorf("shared caches after a cancelled run corrupt results:\n%s\nvs\n%s", clean, direct)
+	}
+}

@@ -23,6 +23,7 @@
 package critics
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -122,6 +123,29 @@ func WithTracer(tr *telemetry.Tracer) Option {
 	return func(c *exp.Context) { c.SetTracer(tr) }
 }
 
+// SharedCaches is an opaque handle to a process-wide artifact cache bundle:
+// generated programs, profiles, compiled variants and simulated
+// measurements, content-addressed by their full configuration. Attach one to
+// many calls (WithSharedCaches) and repeated work — e.g. many service
+// requests for the same app — is served from memory. Safe for concurrent
+// use; builds are single-flight.
+type SharedCaches struct{ caches *exp.Caches }
+
+// NewSharedCaches returns an empty shared cache bundle.
+func NewSharedCaches() *SharedCaches {
+	return &SharedCaches{caches: exp.NewCaches()}
+}
+
+// Stats reports the bundle's hit/miss counters.
+func (s *SharedCaches) Stats() exp.CacheStats { return s.caches.Stats() }
+
+// WithSharedCaches makes the call reuse (and populate) the shared bundle
+// instead of a private per-call cache. Results are unchanged — caching only
+// affects wall-clock.
+func WithSharedCaches(s *SharedCaches) Option {
+	return func(c *exp.Context) { c.UseCaches(s.caches) }
+}
+
 // newCtx builds a context with options applied.
 func newCtx(opts ...Option) *exp.Context {
 	c := exp.NewContext()
@@ -141,29 +165,69 @@ func Apps() []string {
 	return names
 }
 
+// AppNames returns every runnable app name in catalog presentation order
+// (SPEC suites first, then the mobile apps) — the names OptimizeApp,
+// BuildProfile, TraceApp and the serving API accept.
+func AppNames() []string {
+	var names []string
+	for _, suite := range exp.SuiteOrder {
+		for _, a := range exp.Suites()[suite] {
+			names = append(names, a.Params.Name)
+		}
+	}
+	return names
+}
+
 // OptimizeApp runs the full CritIC pipeline on one mobile app (or SPEC
 // workload) and reports the outcome.
 func OptimizeApp(name string, opts ...Option) (*Report, error) {
-	rep, _, err := optimizeApp(name, false, opts...)
+	return OptimizeAppContext(context.Background(), name, opts...)
+}
+
+// OptimizeAppContext is OptimizeApp with cancellation: a cancelled or
+// expired ctx aborts the run between pipeline stages (and stops shard
+// dispatch inside them) and returns ctx's error. Partial artifacts are never
+// retained in the memo caches.
+func OptimizeAppContext(ctx context.Context, name string, opts ...Option) (*Report, error) {
+	rep, _, err := optimizeApp(ctx, name, false, opts...)
 	return rep, err
 }
 
 // optimizeApp is the shared pipeline behind OptimizeApp and TraceApp;
 // collect keeps per-instruction records on the two measurements so a trace
 // export can follow from the memo cache.
-func optimizeApp(name string, collect bool, opts ...Option) (*Report, *exp.Context, error) {
+func optimizeApp(ctx context.Context, name string, collect bool, opts ...Option) (rep *Report, rec *exp.Context, err error) {
 	app, ok := workload.FindApp(name)
 	if !ok {
 		return nil, nil, fmt.Errorf("critics: unknown app %q (mobile apps: %v)", name, Apps())
 	}
-	ctx := newCtx(opts...)
+	defer recoverCancelled(ctx, &err)
+	ec := newCtx(opts...)
+	ec.SetRunContext(ctx)
 
-	base := ctx.Program(app)
-	prof := ctx.Profile(app, false, 1)
-	optimized, st := ctx.Variant(app, exp.VarCritIC)
+	// Each stage may return a zero value when ctx is cancelled mid-build, so
+	// cancellation is checked before any stage output is consumed.
+	base := ec.Program(app)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	prof := ec.Profile(app, false, 1)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	optimized, st := ec.Variant(app, exp.VarCritIC)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
-	mBase := ctx.MeasureVariant(app, exp.VarBase, cpu.DefaultConfig(), collect)
-	mOpt := ctx.MeasureVariant(app, exp.VarCritIC, cpu.DefaultConfig(), collect)
+	mBase := ec.MeasureVariant(app, exp.VarBase, cpu.DefaultConfig(), collect)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	mOpt := ec.MeasureVariant(app, exp.VarCritIC, cpu.DefaultConfig(), collect)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	eBase := energy.Compute(&mBase.Res, energy.DefaultConfig())
 	eOpt := energy.Compute(&mOpt.Res, energy.DefaultConfig())
@@ -187,7 +251,7 @@ func optimizeApp(name string, collect bool, opts ...Option) (*Report, *exp.Conte
 		SpeedupPct:            exp.Speedup(mBase, mOpt),
 		SystemEnergySavingPct: sav.TotalPct,
 		CPUEnergySavingPct:    sav.CPUOnlyPct,
-	}, ctx, nil
+	}, ec, nil
 }
 
 // Chrome-trace process ids of TraceApp's cycle-domain pipeline timelines
@@ -206,16 +270,23 @@ const (
 // (profile, compile, measure; memo lookups labeled hit/miss). The caller
 // owns closing w.
 func TraceApp(name string, w io.Writer, opts ...Option) (*Report, error) {
+	return TraceAppContext(context.Background(), name, w, opts...)
+}
+
+// TraceAppContext is TraceApp with cancellation (see OptimizeAppContext for
+// the semantics). A cancelled run may have written a partial trace document
+// to w; the caller should discard it.
+func TraceAppContext(ctx context.Context, name string, w io.Writer, opts ...Option) (*Report, error) {
 	tr := telemetry.NewTracer(w)
 	tr.MetaProcessName(telemetry.EnginePID, "engine (wall-clock µs)")
 	opts = append(opts, WithTracer(tr))
-	rep, ctx, err := optimizeApp(name, true, opts...)
+	rep, ec, err := optimizeApp(ctx, name, true, opts...)
 	if err != nil {
 		return nil, err
 	}
 	app, _ := workload.FindApp(name)
-	mBase := ctx.MeasureVariant(app, exp.VarBase, cpu.DefaultConfig(), true)
-	mOpt := ctx.MeasureVariant(app, exp.VarCritIC, cpu.DefaultConfig(), true)
+	mBase := ec.MeasureVariant(app, exp.VarBase, cpu.DefaultConfig(), true)
+	mOpt := ec.MeasureVariant(app, exp.VarCritIC, cpu.DefaultConfig(), true)
 	cpu.ExportWindow(tr, baselinePID, name+" baseline pipeline (ts in cycles)", mBase.Dyns, mBase.Res.Records)
 	cpu.ExportWindow(tr, criticPID, name+" critic pipeline (ts in cycles)", mOpt.Dyns, mOpt.Res.Records)
 	if err := tr.Close(); err != nil {
@@ -230,6 +301,13 @@ func TraceApp(name string, w io.Writer, opts ...Option) (*Report, error) {
 // across runs.
 func Experiment(id string, opts ...Option) (string, error) {
 	return exp.Run(id, newCtx(opts...))
+}
+
+// ExperimentContext is Experiment with cancellation: a cancelled or expired
+// ctx stops shard dispatch, discards partial artifacts instead of caching
+// them, and returns ctx's error with no output.
+func ExperimentContext(ctx context.Context, id string, opts ...Option) (string, error) {
+	return exp.RunContext(ctx, id, newCtx(opts...))
 }
 
 // Session caches generated programs, profiles and compiled variants across
@@ -263,12 +341,38 @@ func ExperimentIDs() []string { return exp.IDs() }
 // BuildProfile profiles an app and returns the CritIC profile (the artifact
 // cmd/criticprof serializes).
 func BuildProfile(name string, opts ...Option) (*core.Profile, error) {
+	return BuildProfileContext(context.Background(), name, opts...)
+}
+
+// BuildProfileContext is BuildProfile with cancellation (see
+// OptimizeAppContext for the semantics).
+func BuildProfileContext(ctx context.Context, name string, opts ...Option) (prof *core.Profile, err error) {
 	app, ok := workload.FindApp(name)
 	if !ok {
 		return nil, fmt.Errorf("critics: unknown app %q", name)
 	}
-	ctx := newCtx(opts...)
-	return ctx.Profile(app, false, 1), nil
+	defer recoverCancelled(ctx, &err)
+	ec := newCtx(opts...)
+	ec.SetRunContext(ctx)
+	prof = ec.Profile(app, false, 1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return prof, nil
+}
+
+// recoverCancelled converts a panic raised by a pipeline stage that consumed
+// a discarded, cancellation-invalidated artifact (memo lookups return zero
+// values once the run context is cancelled) back into ctx's error. Panics on
+// a live context are real bugs and propagate.
+func recoverCancelled(ctx context.Context, err *error) {
+	if p := recover(); p != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			*err = cerr
+			return
+		}
+		panic(p)
+	}
 }
 
 // CompileWithProfile applies the CritIC pass to an app's program under an

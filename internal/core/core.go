@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -74,6 +75,13 @@ type Config struct {
 	// schedule. The profile is bit-identical for every value: windows are
 	// extracted independently and merged in window index order.
 	Workers int
+
+	// Ctx, when non-nil, lets callers cancel profiling: window extraction
+	// stops dispatching once the context is done. A profile built under a
+	// cancelled context is partial — callers must check the context and
+	// discard it (internal/exp does, and never retains such builds in its
+	// memo caches).
+	Ctx context.Context
 }
 
 // DefaultConfig returns the paper's operating point.
@@ -177,7 +185,11 @@ func BuildProfile(pr *prog.Program, windows []trace.Window, cfg Config) *Profile
 	// float accumulation into fanoutSum) runs serially in window index
 	// order, keeping the profile bit-identical for every worker count.
 	perWindow := make([][]dfg.Chain, len(windows))
-	sched.NewPool(max(cfg.Workers, 1)).Named("profile").Map(len(windows), func(i int) {
+	pool := sched.NewPool(max(cfg.Workers, 1)).Named("profile")
+	if cfg.Ctx != nil {
+		pool.WithContext(cfg.Ctx)
+	}
+	pool.Map(len(windows), func(i int) {
 		perWindow[i] = dfg.Extract(windows[i].Dyns, opt)
 	})
 	for wi, w := range windows {

@@ -14,6 +14,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -54,10 +55,13 @@ type Context struct {
 	// Results are bit-identical for every value (see internal/sched).
 	Workers int
 
-	progs    *sched.Memo[*prog.Program]
-	profs    *sched.Memo[*core.Profile]
-	variants *sched.Memo[variantEntry]
-	meas     *sched.Memo[*Measurement]
+	caches *Caches
+
+	// runCtx, when non-nil, is the cancellation signal for everything this
+	// context runs: pools stop dispatching shards and memo builds finished
+	// under a cancelled context are discarded instead of retained
+	// (SetRunContext).
+	runCtx context.Context
 
 	// Observability hooks (telemetry.go); both nil by default, costing the
 	// engine nothing.
@@ -70,6 +74,43 @@ type variantEntry struct {
 	st compiler.Stats
 }
 
+// Caches bundles the engine's content-addressed memo caches — programs,
+// profiles, compiled variants and simulated measurements. Every Context owns
+// one by default; a long-lived service shares a single Caches across many
+// request-scoped Contexts (Context.UseCaches) so repeated requests for the
+// same artifacts are served from memory. Sharing is safe: the caches are
+// concurrency-safe with single-flight builds, and every cache key covers the
+// full configuration (workload parameters, compiler kind, machine config,
+// window/profiling scale), so contexts at different scales coexist without
+// collisions.
+type Caches struct {
+	progs    *sched.Memo[*prog.Program]
+	profs    *sched.Memo[*core.Profile]
+	variants *sched.Memo[variantEntry]
+	meas     *sched.Memo[*Measurement]
+}
+
+// NewCaches returns an empty cache bundle with the default measurement
+// retention budget.
+func NewCaches() *Caches {
+	return &Caches{
+		progs:    sched.NewMemo[*prog.Program](0),
+		profs:    sched.NewMemo[*core.Profile](0),
+		variants: sched.NewMemo[variantEntry](0),
+		meas:     sched.NewMemo[*Measurement](DefaultMeasureCacheBytes),
+	}
+}
+
+// Stats returns the bundle's current hit/miss counters.
+func (s *Caches) Stats() CacheStats {
+	return CacheStats{
+		Programs:     s.progs.Stats(),
+		Profiles:     s.profs.Stats(),
+		Variants:     s.variants.Stats(),
+		Measurements: s.meas.Stats(),
+	}
+}
+
 // NewContext returns the full-scale experiment context.
 func NewContext() *Context {
 	return &Context{
@@ -79,11 +120,47 @@ func NewContext() *Context {
 		MeasureArch: 120_000,
 		ProfilePlan: trace.SamplePlan{Samples: 12, Length: 25_000, Gap: 5_000, Warmup: 5_000},
 		HighFanout:  8,
-		progs:       sched.NewMemo[*prog.Program](0),
-		profs:       sched.NewMemo[*core.Profile](0),
-		variants:    sched.NewMemo[variantEntry](0),
-		meas:        sched.NewMemo[*Measurement](DefaultMeasureCacheBytes),
+		caches:      NewCaches(),
 	}
+}
+
+// UseCaches swaps the context's memo caches for a shared bundle. Call before
+// running anything; artifacts already cached in the bundle are reused.
+func (c *Context) UseCaches(s *Caches) {
+	if s != nil {
+		c.caches = s
+	}
+}
+
+// SetRunContext binds a cancellation context: worker pools stop dispatching
+// queued shards once it is cancelled, and memo values whose build finished
+// under a cancelled context are discarded (they may be partial) rather than
+// retained or handed to single-flight waiters. Cancellation is best-effort —
+// an executing simulation window runs to completion — and a cancelled run's
+// outputs must be discarded by the caller (Run/RunContext do).
+func (c *Context) SetRunContext(ctx context.Context) { c.runCtx = ctx }
+
+// RunContext returns the bound cancellation context (nil when none is set).
+func (c *Context) RunContext() context.Context { return c.runCtx }
+
+// Err returns the bound context's error, or nil when no context is bound or
+// it is still live.
+func (c *Context) Err() error {
+	if c.runCtx == nil {
+		return nil
+	}
+	return c.runCtx.Err()
+}
+
+// validFn returns the memo validity check for the current run context: a
+// build is retained only if the context was still live when it finished.
+// With no context bound every build is valid.
+func (c *Context) validFn() func() bool {
+	ctx := c.runCtx
+	if ctx == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() == nil }
 }
 
 // QuickContext returns a reduced-scale context for tests and benchmarks.
@@ -108,7 +185,7 @@ func (c *Context) workers() int {
 // the full generator parameter set (workload seed included).
 func (c *Context) Program(a workload.App) *prog.Program {
 	key := sched.KeyOf("prog", a.Params)
-	return memoGet(c, c.progs, "program "+a.Params.Name, key, func() *prog.Program {
+	return memoGet(c, c.caches.progs, "program "+a.Params.Name, key, func() *prog.Program {
 		return workload.Generate(a.Params)
 	}, nil)
 }
@@ -121,7 +198,7 @@ func (c *Context) Program(a workload.App) *prog.Program {
 // so the profile is identical for every worker count).
 func (c *Context) Profile(a workload.App, ideal bool, windowsFrac float64) *core.Profile {
 	key := sched.KeyOf("prof", a.Params, ideal, windowsFrac, c.ProfilePlan)
-	return memoGet(c, c.profs, "profile "+a.Params.Name, key, func() *core.Profile {
+	return memoGet(c, c.caches.profs, "profile "+a.Params.Name, key, func() *core.Profile {
 		p := c.Program(a)
 		ws := trace.Collect(p, a.Params.Seed, c.ProfilePlan)
 		if windowsFrac > 0 && windowsFrac < 1 {
@@ -134,6 +211,7 @@ func (c *Context) Profile(a workload.App, ideal bool, windowsFrac float64) *core
 		cfg := core.DefaultConfig()
 		cfg.RequireThumb = !ideal
 		cfg.Workers = c.workers()
+		cfg.Ctx = c.runCtx
 		return core.BuildProfile(p, ws, cfg)
 	}, nil)
 }
@@ -159,7 +237,7 @@ const (
 // depends on.
 func (c *Context) Variant(a workload.App, kind string) (*prog.Program, compiler.Stats) {
 	key := sched.KeyOf("variant", a.Params, kind, c.ProfilePlan)
-	v := memoGet(c, c.variants, "variant "+a.Params.Name+"/"+kind, key, func() variantEntry {
+	v := memoGet(c, c.caches.variants, "variant "+a.Params.Name+"/"+kind, key, func() variantEntry {
 		p, st := c.buildVariant(a, kind)
 		return variantEntry{p: p, st: st}
 	}, nil)
@@ -288,7 +366,7 @@ func (c *Context) MeasureVariant(a workload.App, kind string, cfg cpu.Config, co
 	kcfg.Metrics = nil
 	key := sched.KeyOf("meas", a.Params, kind, kcfg, collect,
 		c.Seed, c.WarmupArch, c.WarmArch, c.MeasureArch, c.ProfilePlan)
-	return memoGet(c, c.meas, "measure "+a.Params.Name+"/"+kind, key, func() *Measurement {
+	return memoGet(c, c.caches.meas, "measure "+a.Params.Name+"/"+kind, key, func() *Measurement {
 		p, _ := c.Variant(a, kind)
 		return c.Measure(p, cfg, collect)
 	}, measurementCost)
@@ -326,10 +404,10 @@ func (s CacheStats) String() string {
 // CacheStats returns the context's current memo counters.
 func (c *Context) CacheStats() CacheStats {
 	return CacheStats{
-		Programs:     c.progs.Stats(),
-		Profiles:     c.profs.Stats(),
-		Variants:     c.variants.Stats(),
-		Measurements: c.meas.Stats(),
+		Programs:     c.caches.progs.Stats(),
+		Profiles:     c.caches.profs.Stats(),
+		Variants:     c.caches.variants.Stats(),
+		Measurements: c.caches.meas.Stats(),
 	}
 }
 
@@ -353,6 +431,9 @@ func (c *Context) forEach(n int, f func(i int)) {
 	p := sched.NewPool(c.workers()).Named("exp")
 	if c.tel != nil {
 		p.Instrument(c.tel.Pool)
+	}
+	if c.runCtx != nil {
+		p.WithContext(c.runCtx)
 	}
 	p.Map(n, f)
 }

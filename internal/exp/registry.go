@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -52,16 +53,42 @@ func IDs() []string {
 // observes the run's wall time under critics_experiment_seconds{exp=id};
 // with a tracer attached it wraps the run in an engine-level span.
 func Run(id string, c *Context) (string, error) {
+	return RunContext(context.Background(), id, c)
+}
+
+// RunContext is Run with cancellation: the context is bound to c for the
+// duration of the run (Context.SetRunContext), so worker pools stop
+// dispatching shards and no partial artifact is retained in the memo caches
+// once ctx is done. A cancelled run returns ctx's error and no output.
+// Runners assume complete artifacts, so a shard skipped by cancellation can
+// surface as a panic mid-format; RunContext converts such panics back into
+// the context error (a panic with a live context still propagates).
+func RunContext(ctx context.Context, id string, c *Context) (out string, err error) {
 	r, ok := registry[id]
 	if !ok {
 		return "", fmt.Errorf("exp: unknown experiment %q (known: %v)", id, IDs())
 	}
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	prev := c.runCtx
+	c.SetRunContext(ctx)
+	defer c.SetRunContext(prev)
+	defer func() {
+		if p := recover(); p != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				out, err = "", cerr
+				return
+			}
+			panic(p)
+		}
+	}()
 	var spanStart int64
 	if c.tracer != nil {
 		spanStart = c.tracer.Now()
 	}
 	start := time.Now()
-	out := r(c)
+	out = r(c)
 	if c.tel != nil {
 		c.tel.reg.Histogram("critics_experiment_seconds",
 			"Wall time per experiment run by id.",
@@ -70,6 +97,9 @@ func Run(id string, c *Context) (string, error) {
 	}
 	if c.tracer != nil {
 		c.tracer.Span(telemetry.EnginePID, "exp:"+id, "experiment", spanStart, c.tracer.Now()-spanStart)
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return "", cerr
 	}
 	return out, nil
 }

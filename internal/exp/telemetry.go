@@ -46,10 +46,10 @@ func (c *Context) SetTelemetry(reg *telemetry.Registry) {
 			"Wall time of uncached measurement builds (trace+DFG+simulate).",
 			expSecondsBuckets),
 	}
-	registerMemo(reg, "programs", c.progs)
-	registerMemo(reg, "profiles", c.profs)
-	registerMemo(reg, "variants", c.variants)
-	registerMemo(reg, "measurements", c.meas)
+	registerMemo(reg, "programs", c.caches.progs)
+	registerMemo(reg, "profiles", c.caches.profs)
+	registerMemo(reg, "variants", c.caches.variants)
+	registerMemo(reg, "measurements", c.caches.meas)
 }
 
 // Registry returns the attached registry (nil when telemetry is off).
@@ -84,15 +84,28 @@ func registerMemo[V any](reg *telemetry.Registry, name string, m *sched.Memo[V])
 		func() float64 { return float64(m.UsedBytes()) }, l)
 }
 
-// memoGet wraps a memo lookup with an engine-level trace span labeled with
-// the hit/miss outcome. With no tracer attached it is exactly Memo.Get.
+// memoGet wraps a memo lookup with the context's cancellation-validity check
+// (builds finished under a cancelled run context are discarded, never
+// retained) and an engine-level trace span labeled with the hit/miss
+// outcome. With no tracer and no run context attached it is exactly
+// Memo.Get. Under cancellation the returned value may be the zero value —
+// callers observe Context.Err and discard the run's outputs.
 func memoGet[V any](c *Context, m *sched.Memo[V], span string, key sched.Key, build func() V, cost func(V) int64) V {
+	valid := c.validFn()
+	if valid != nil && !valid() {
+		// Already cancelled: skip the build entirely. Nested stage lookups
+		// (a profile build fetching its program) get the zero value without
+		// running, and the entry point fails on Context.Err before using it.
+		var zero V
+		return zero
+	}
 	tr := c.tracer
 	if tr == nil {
-		return m.Get(key, build, cost)
+		v, _ := m.GetChecked(key, build, cost, valid)
+		return v
 	}
 	t0 := tr.Now()
-	v, hit := m.GetHit(key, build, cost)
+	v, hit := m.GetChecked(key, build, cost, valid)
 	tr.Span(telemetry.EnginePID, span, "memo", t0, tr.Now()-t0, telemetry.Bool("hit", hit))
 	return v
 }

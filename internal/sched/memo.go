@@ -50,9 +50,13 @@ func (s Stats) String() string {
 
 // entry is one in-flight or completed memo slot. done is closed once val is
 // final; waiters that arrive during a build block on it (singleflight).
+// bad marks a value the builder declared invalid (e.g. built under a
+// cancelled context, so internal shards may have been skipped): waiters must
+// not use it and instead retry the lookup.
 type entry[V any] struct {
 	done chan struct{}
 	val  V
+	bad  bool
 }
 
 // Memo is a content-addressed, concurrency-safe memo cache with
@@ -103,36 +107,85 @@ func (m *Memo[V]) Get(k Key, build func() V, cost func(V) int64) V {
 // single-flight build counts as a hit for every caller but the builder) —
 // the hook trace exports use to label memo spans.
 func (m *Memo[V]) GetHit(k Key, build func() V, cost func(V) int64) (V, bool) {
-	m.mu.Lock()
-	if e, ok := m.entries[k]; ok {
+	return m.GetChecked(k, build, cost, nil)
+}
+
+// GetChecked is GetHit with a validity check: after build returns, valid()
+// decides whether the value may be used and retained. An invalid value
+// (valid() == false — e.g. the build ran under a context that was cancelled
+// partway, so shards may have been skipped) is discarded: it is not
+// retained, it is not handed to single-flight waiters, and both the builder
+// and any waiters retry the lookup — typically to fail fast on their own
+// cancelled contexts, or to rebuild cleanly on a live one. valid == nil
+// accepts every build.
+func (m *Memo[V]) GetChecked(k Key, build func() V, cost func(V) int64, valid func() bool) (V, bool) {
+	for {
+		m.mu.Lock()
+		if e, ok := m.entries[k]; ok {
+			m.mu.Unlock()
+			<-e.done
+			if e.bad {
+				// The build we waited on was discarded; try again (we may
+				// become the next builder).
+				continue
+			}
+			m.hits.Add(1)
+			return e.val, true
+		}
+		e := &entry[V]{done: make(chan struct{})}
+		m.entries[k] = e
 		m.mu.Unlock()
-		<-e.done
-		m.hits.Add(1)
-		return e.val, true
-	}
-	e := &entry[V]{done: make(chan struct{})}
-	m.entries[k] = e
-	m.mu.Unlock()
-	m.misses.Add(1)
+		m.misses.Add(1)
 
-	e.val = build()
-	close(e.done)
+		e.val = m.runBuild(k, e, build)
+		if valid != nil && !valid() {
+			e.bad = true
+			m.mu.Lock()
+			delete(m.entries, k)
+			m.mu.Unlock()
+			close(e.done)
+			var zero V
+			return zero, false
+		}
+		close(e.done)
 
-	var c int64 = 1
-	if cost != nil {
-		c = cost(e.val)
+		var c int64 = 1
+		if cost != nil {
+			c = cost(e.val)
+		}
+		m.mu.Lock()
+		if m.budget > 0 && m.used+c > m.budget {
+			// Over budget: hand the value to current waiters (they hold e)
+			// but do not retain it for future lookups.
+			delete(m.entries, k)
+			m.skipped.Add(1)
+		} else {
+			m.used += c
+		}
+		m.mu.Unlock()
+		return e.val, false
 	}
-	m.mu.Lock()
-	if m.budget > 0 && m.used+c > m.budget {
-		// Over budget: hand the value to current waiters (they hold e)
-		// but do not retain it for future lookups.
+}
+
+// runBuild executes build for entry e, tearing the entry down (marked bad,
+// removed, done closed) if build panics so single-flight waiters retry
+// instead of blocking forever; the panic then propagates to the builder's
+// caller.
+func (m *Memo[V]) runBuild(k Key, e *entry[V], build func() V) V {
+	finished := false
+	defer func() {
+		if finished {
+			return
+		}
+		e.bad = true
+		m.mu.Lock()
 		delete(m.entries, k)
-		m.skipped.Add(1)
-	} else {
-		m.used += c
-	}
-	m.mu.Unlock()
-	return e.val, false
+		m.mu.Unlock()
+		close(e.done)
+	}()
+	v := build()
+	finished = true
+	return v
 }
 
 // Stats returns the current hit/miss counters.

@@ -25,11 +25,13 @@ import (
 
 // Pool is a bounded worker pool. The zero value is not useful; construct
 // with NewPool. Pools carry no state beyond the worker bound and optional
-// observability hooks, so they are cheap to create per call site.
+// observability/cancellation hooks, so they are cheap to create per call
+// site.
 type Pool struct {
 	workers int
 	name    string
 	metrics *PoolMetrics
+	ctx     context.Context
 }
 
 // NewPool returns a pool running at most workers goroutines. workers <= 0
@@ -53,6 +55,22 @@ func (p *Pool) Named(name string) *Pool {
 func (p *Pool) Instrument(m *PoolMetrics) *Pool {
 	p.metrics = m
 	return p
+}
+
+// WithContext binds a cancellation context to the pool and returns the pool
+// for chaining. A cancelled context stops Map from dispatching shards that
+// are still queued; shards already executing run to completion (the work
+// functions are not required to be interruptible). After a cancelled Map
+// returns, index-addressed results are partial — callers must check the
+// context before consuming them.
+func (p *Pool) WithContext(ctx context.Context) *Pool {
+	p.ctx = ctx
+	return p
+}
+
+// cancelled reports whether the pool's bound context (if any) is done.
+func (p *Pool) cancelled() bool {
+	return p.ctx != nil && p.ctx.Err() != nil
 }
 
 // Workers returns the resolved worker bound.
@@ -84,8 +102,13 @@ func NewPoolMetrics(reg *telemetry.Registry, pool string) *PoolMetrics {
 // parallel runs must be bit-identical to. Worker goroutines carry pprof
 // labels (pool name, worker index) and each shard additionally carries its
 // shard index, so CPU profiles attribute time to experiment shards.
+//
+// With a context bound via WithContext, Map stops dispatching queued shards
+// once the context is cancelled and returns after the in-flight ones finish;
+// the determinism contract then no longer holds (some indices were never
+// run) and callers must discard the partial results.
 func (p *Pool) Map(n int, f func(i int)) {
-	if n <= 0 {
+	if n <= 0 || p.cancelled() {
 		return
 	}
 	workers := p.workers
@@ -95,6 +118,9 @@ func (p *Pool) Map(n int, f func(i int)) {
 	m := p.metrics
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if p.cancelled() {
+				return
+			}
 			if m != nil {
 				m.QueueDepth.Set(int64(n - i - 1))
 				m.BusyWorkers.Set(1)
@@ -120,6 +146,9 @@ func (p *Pool) Map(n int, f func(i int)) {
 			labels := pprof.Labels("pool", p.name, "worker", strconv.Itoa(worker))
 			pprof.Do(context.Background(), labels, func(ctx context.Context) {
 				for i := range next {
+					if p.cancelled() {
+						return
+					}
 					if m != nil {
 						m.QueueDepth.Set(int64(len(next)))
 						m.BusyWorkers.Add(1)

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingStub returns a stub runner that parks every job until release is
+// closed (or its context is cancelled).
+func blockingStub(release <-chan struct{}, started chan<- struct{}) func(ctx context.Context, req SubmitRequest) ([]byte, error) {
+	return func(ctx context.Context, req SubmitRequest) ([]byte, error) {
+		if started != nil {
+			started <- struct{}{}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return json.Marshal(Result{Kind: req.Kind, App: req.App, Text: "ok"})
+		}
+	}
+}
+
+// TestAdmissionControl fills a queue of 1 behind a single stuck worker and
+// proves the contract from the design: the next submit is refused with
+// 429 + Retry-After immediately (never blocking the accept loop), /healthz
+// stays 200 throughout, and capacity freed by the stuck job finishing admits
+// new work again.
+func TestAdmissionControl(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 16) // every admitted job signals once
+	cfg := Config{QueueSize: 1, Workers: 1}
+	cfg.execute = blockingStub(release, started)
+	_, c := start(t, cfg)
+	ctx := context.Background()
+
+	// Job 1 occupies the worker; job 2 occupies the only queue slot.
+	j1, err := c.Submit(ctx, SubmitRequest{App: "acrobat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := c.Submit(ctx, SubmitRequest{App: "maps"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Job 3 must be refused, and refused fast — a submit that blocks on a
+	// full queue would hang the accept loop.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Submit(ctx, SubmitRequest{App: "browser"})
+		done <- err
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("submit against a full queue blocked instead of returning 429")
+	}
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Code != http.StatusTooManyRequests {
+		t.Fatalf("full-queue submit: %v, want 429", err)
+	}
+	if !apiErr.Retryable || apiErr.RetryAfter <= 0 {
+		t.Errorf("429 missing retry hints: retryable=%v retryAfter=%v", apiErr.Retryable, apiErr.RetryAfter)
+	}
+
+	// Liveness is independent of queue pressure.
+	resp, err := http.Get(c.base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz under full queue: %d", resp.StatusCode)
+	}
+
+	// Draining the worker frees capacity; admission recovers.
+	close(release)
+	if _, err := c.Wait(ctx, j1.ID, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err = c.Submit(ctx, SubmitRequest{App: "browser"}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admission did not recover after drain: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The refusals were counted.
+	resp, err = http.Get(c.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 64<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	if !strings.Contains(sb.String(), `critics_server_jobs_total{outcome="rejected"}`) {
+		t.Error("rejected outcome not exported")
+	}
+}
+
+// TestGracefulShutdown: Shutdown lets the in-flight job complete, fails the
+// queued one with a retryable status, refuses new submissions with 503, and
+// flips /readyz to 503 while /healthz stays 200.
+func TestGracefulShutdown(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	cfg := Config{QueueSize: 4, Workers: 1}
+	cfg.execute = blockingStub(release, started)
+	s, c := start(t, cfg)
+	ctx := context.Background()
+
+	inflight, err := c.Submit(ctx, SubmitRequest{App: "acrobat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := c.Submit(ctx, SubmitRequest{App: "maps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(sctx)
+	}()
+
+	// Drain mode is observable before the in-flight job finishes.
+	waitFor(t, func() bool { return s.draining.Load() })
+	if _, err := c.Submit(ctx, SubmitRequest{App: "browser"}); err == nil {
+		t.Error("submit during drain succeeded")
+	} else if apiErr, ok := err.(*APIError); !ok || apiErr.Code != http.StatusServiceUnavailable || !apiErr.Retryable {
+		t.Errorf("submit during drain: %v, want retryable 503", err)
+	}
+	for path, want := range map[string]int{"/healthz": http.StatusOK, "/readyz": http.StatusServiceUnavailable} {
+		resp, err := http.Get(c.base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s during drain: %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	// Release the worker: the in-flight job must complete normally.
+	close(release)
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	st, err := c.Status(ctx, inflight.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateSucceeded {
+		t.Errorf("in-flight job after drain: %s (%s)", st.State, st.Error)
+	}
+	st, err = c.Status(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed || !st.Retryable {
+		t.Errorf("queued job after drain: state=%s retryable=%v", st.State, st.Retryable)
+	}
+}
+
+// TestShutdownDeadline: when the drain grace expires, in-flight job contexts
+// are cancelled so Shutdown still returns (with ctx's error) instead of
+// hanging on a stuck workload.
+func TestShutdownDeadline(t *testing.T) {
+	started := make(chan struct{}, 1)
+	cfg := Config{QueueSize: 4, Workers: 1}
+	cfg.execute = blockingStub(nil, started) // only ctx.Done() can unblock it
+	s, c := start(t, cfg)
+
+	st, err := c.Submit(context.Background(), SubmitRequest{App: "acrobat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	sctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != context.DeadlineExceeded {
+		t.Fatalf("shutdown past deadline: %v, want context.DeadlineExceeded", err)
+	}
+	// The job was cancelled, not left running.
+	js, err := c.Status(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !js.State.Terminal() {
+		t.Errorf("stuck job after forced shutdown: %s", js.State)
+	}
+}
+
+// TestConcurrentHammer drives submit/status/cancel/list/scrape from many
+// goroutines at once; run with -race this is the server's data-race check.
+func TestConcurrentHammer(t *testing.T) {
+	cfg := Config{QueueSize: 16, Workers: 4}
+	cfg.execute = func(ctx context.Context, req SubmitRequest) ([]byte, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Duration(len(req.App)) * time.Millisecond):
+		}
+		return json.Marshal(Result{Kind: req.Kind, App: req.App, Text: "ok"})
+	}
+	_, c := start(t, cfg)
+	ctx := context.Background()
+	apps := []string{"acrobat", "maps", "music", "youtube"}
+
+	var wg sync.WaitGroup
+	ids := make(chan string, 256)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				st, err := c.Submit(ctx, SubmitRequest{App: apps[(g+i)%len(apps)]})
+				if err != nil {
+					var apiErr *APIError
+					if errors.As(err, &apiErr) && apiErr.Code == http.StatusTooManyRequests {
+						continue // queue full is a valid outcome under load
+					}
+					t.Errorf("submit: %v", err)
+					return
+				}
+				ids <- st.ID
+			}
+		}(g)
+	}
+	var rg sync.WaitGroup
+	stopReaders := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		rg.Add(1)
+		go func(g int) {
+			defer rg.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				case id := <-ids:
+					if _, err := c.Status(ctx, id); err != nil {
+						t.Errorf("status: %v", err)
+					}
+					if g == 0 { // one goroutine also cancels
+						_, _ = c.Cancel(ctx, id)
+					}
+				default:
+					resp, err := http.Get(c.base + "/metrics")
+					if err == nil {
+						resp.Body.Close()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stopReaders)
+	rg.Wait()
+}
+
+// waitFor polls cond until true or fails the test after 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to a criticd instance. The zero value is not usable;
+// construct with NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:9720").
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// APIError is a non-2xx response decoded from the server's error body.
+type APIError struct {
+	Code       int
+	Message    string
+	Retryable  bool
+	RetryAfter time.Duration // from the Retry-After header (429s)
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("criticd: %d %s", e.Code, e.Message)
+}
+
+// do runs one request and decodes the JSON response into out (skipped when
+// out is nil). Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		var er ErrorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			apiErr.Message = er.Error
+			apiErr.Retryable = er.Retryable
+		}
+		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			apiErr.RetryAfter = time.Duration(sec) * time.Second
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit enqueues a job. A 429 (queue full) surfaces as *APIError with
+// Retryable set and RetryAfter carrying the server's hint.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Result fetches the raw result document of a succeeded job.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Cancel requests cancellation of a queued or running job and returns the
+// resulting status.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Apps fetches the workload catalog by suite.
+func (c *Client) Apps(ctx context.Context) (map[string][]string, error) {
+	var resp AppsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/apps", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Suites, nil
+}
+
+// Experiments fetches the runnable experiment ids.
+func (c *Client) Experiments(ctx context.Context) ([]string, error) {
+	var resp ExperimentsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Experiments, nil
+}
+
+// Wait polling parameters: exponential backoff from waitBaseDelay doubling
+// to waitMaxDelay, each step jittered ±25% so a fleet of waiting clients
+// never polls in lockstep.
+const (
+	waitBaseDelay = 25 * time.Millisecond
+	waitMaxDelay  = 2 * time.Second
+)
+
+// Wait polls a job until it reaches a terminal state, with exponential
+// backoff plus jitter, and returns its final status. timeout <= 0 waits
+// until ctx is done. The terminal status itself is not an error; a Failed
+// job is reported through its State/Error fields.
+func (c *Client) Wait(ctx context.Context, id string, timeout time.Duration) (JobStatus, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	delay := waitBaseDelay
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		// ±25% jitter, then exponential growth capped at waitMaxDelay.
+		jittered := delay/2 + time.Duration(rand.Int63n(int64(delay)))
+		select {
+		case <-ctx.Done():
+			return st, fmt.Errorf("waiting for job %s (last state %s): %w", id, st.State, ctx.Err())
+		case <-time.After(jittered):
+		}
+		if delay *= 2; delay > waitMaxDelay {
+			delay = waitMaxDelay
+		}
+	}
+}

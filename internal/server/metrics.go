@@ -1,0 +1,77 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"critics/internal/telemetry"
+)
+
+// metrics are the server's registry series. Family names are pinned by the
+// telemetry package's exposition golden test — rename there too.
+type metrics struct {
+	queueDepth *telemetry.Gauge // jobs admitted but not yet started
+	inflight   *telemetry.Gauge // jobs currently executing
+
+	// outcomes counts terminal job dispositions plus admissions the queue
+	// refused (outcome="rejected") and queued jobs failed by a drain
+	// (outcome="dropped").
+	outcomes func(outcome string) *telemetry.Counter
+
+	// requestSeconds observes HTTP handler latency per route pattern;
+	// requests counts them per (route, status code).
+	requestSeconds func(endpoint string) *telemetry.Histogram
+	requests       func(endpoint string, code int) *telemetry.Counter
+}
+
+// httpSecondsBuckets cover 100µs..~50s handler latencies.
+var httpSecondsBuckets = telemetry.ExpBuckets(0.0001, 4, 10)
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	return &metrics{
+		queueDepth: reg.Gauge("critics_server_queue_depth",
+			"Jobs admitted to the queue and not yet started."),
+		inflight: reg.Gauge("critics_server_inflight_jobs",
+			"Jobs currently executing."),
+		outcomes: func(outcome string) *telemetry.Counter {
+			return reg.Counter("critics_server_jobs_total",
+				"Jobs by disposition: succeeded, failed, canceled, panic, rejected (queue full), dropped (drained at shutdown).",
+				telemetry.L("outcome", outcome))
+		},
+		requestSeconds: func(endpoint string) *telemetry.Histogram {
+			return reg.Histogram("critics_server_http_request_seconds",
+				"HTTP handler latency by route.",
+				httpSecondsBuckets, telemetry.L("endpoint", endpoint))
+		},
+		requests: func(endpoint string, code int) *telemetry.Counter {
+			return reg.Counter("critics_server_http_requests_total",
+				"HTTP requests by route and status code.",
+				telemetry.L("endpoint", endpoint), telemetry.L("code", strconv.Itoa(code)))
+		},
+	}
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint latency histogram and
+// request counter. endpoint is the route pattern, not the raw path, so the
+// label set stays bounded.
+func (m *metrics) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		m.requestSeconds(endpoint).Observe(time.Since(start).Seconds())
+		m.requests(endpoint, rec.code).Inc()
+	}
+}

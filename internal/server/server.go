@@ -1,0 +1,523 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"critics"
+	"critics/internal/exp"
+	"critics/internal/telemetry"
+)
+
+// Config tunes the daemon. The zero value is usable; New fills defaults.
+type Config struct {
+	// QueueSize bounds jobs admitted but not yet executing. A full queue
+	// refuses new submissions with 429 + Retry-After — admission control,
+	// never backpressure into the accept loop. Default 64.
+	QueueSize int
+
+	// Workers is the number of jobs executing concurrently. Default 2.
+	Workers int
+
+	// JobWorkers bounds each job's shard pool (critics.WithWorkers) when
+	// the request does not choose; 0 selects GOMAXPROCS.
+	JobWorkers int
+
+	// JobTimeout caps a job's execution time when the request does not
+	// choose. Default 10m; negative disables the default deadline.
+	JobTimeout time.Duration
+
+	// QuickScale forces the reduced-scale windows for every job regardless
+	// of the request (smoke tests, resource-constrained deployments).
+	QuickScale bool
+
+	// Registry receives the server's metrics and is served on /metrics.
+	// New creates one when nil.
+	Registry *telemetry.Registry
+
+	// Logger receives structured request/job logs; nil discards them.
+	Logger *slog.Logger
+
+	// execute overrides job execution — a test seam. nil selects the real
+	// critics pipeline.
+	execute func(ctx context.Context, req SubmitRequest) ([]byte, error)
+}
+
+// retryAfterSeconds is the Retry-After hint on 429 responses.
+const retryAfterSeconds = 1
+
+// Server is the criticd core: the job table, the bounded queue, the worker
+// loop and the HTTP API. Construct with New, serve Handler, stop with
+// Shutdown.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	reg     *telemetry.Registry
+	metrics *metrics
+	caches  *critics.SharedCaches
+	mux     *http.ServeMux
+
+	// baseCtx parents every job context; cancelBase aborts in-flight jobs
+	// when a Shutdown deadline expires.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	queue chan *job
+	wg    sync.WaitGroup // worker goroutines
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // job ids, submission order
+	byIdem   map[string]string
+	nextID   int64
+	draining atomic.Bool
+}
+
+// New builds a server and starts its worker goroutines. Callers own calling
+// Shutdown.
+func New(cfg Config) *Server {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = 10 * time.Minute
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 4}))
+	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		log:        log,
+		reg:        cfg.Registry,
+		metrics:    newMetrics(cfg.Registry),
+		caches:     critics.NewSharedCaches(),
+		baseCtx:    base,
+		cancelBase: cancel,
+		queue:      make(chan *job, cfg.QueueSize),
+		jobs:       map[string]*job{},
+		byIdem:     map[string]string{},
+	}
+	if s.cfg.execute == nil {
+		s.cfg.execute = s.executePipeline
+	}
+	s.mux = s.routes()
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats reports the shared artifact cache counters.
+func (s *Server) CacheStats() exp.CacheStats { return s.caches.Stats() }
+
+// Shutdown drains the server: submissions are refused (503) and /readyz
+// flips to 503 immediately, jobs still queued fail with a retryable status,
+// and in-flight jobs run to completion. When ctx expires first, in-flight
+// job contexts are cancelled and their workers awaited before returning
+// ctx's error. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining.Swap(true) {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelBase()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// ---- worker loop ---------------------------------------------------------
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.metrics.queueDepth.Add(-1)
+		if s.draining.Load() && j.failQueued("server shutting down before execution; safe to retry") {
+			s.metrics.outcomes("dropped").Inc()
+			continue
+		}
+		timeout := s.cfg.JobTimeout
+		if j.req.TimeoutMS > 0 {
+			timeout = time.Duration(j.req.TimeoutMS) * time.Millisecond
+		}
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
+		}
+		if !j.tryStart(cancel) {
+			cancel()
+			s.metrics.outcomes("canceled").Inc()
+			continue
+		}
+		s.runJob(ctx, j)
+		cancel()
+	}
+}
+
+// runJob executes one started job with panic isolation: a panicking workload
+// fails that job (with the panic message in its status) and the daemon keeps
+// serving.
+func (s *Server) runJob(ctx context.Context, j *job) {
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+	s.log.Info("job start", "id", j.id, "kind", j.req.Kind, "app", j.req.App, "exp", j.req.Experiment)
+
+	var (
+		result   []byte
+		err      error
+		panicked bool
+	)
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				panicked = true
+				err = fmt.Errorf("panic: %v", p)
+			}
+		}()
+		result, err = s.cfg.execute(ctx, j.req)
+	}()
+
+	var msg string
+	var retry bool
+	if err != nil {
+		msg = err.Error()
+		// A deadline is a property of this attempt, not the job: the retry
+		// may hit warm caches and finish in time.
+		retry = errors.Is(err, context.DeadlineExceeded)
+	}
+	j.finish(result, msg, retry)
+
+	st := j.Status()
+	outcome := string(st.State)
+	if panicked {
+		outcome = "panic"
+	}
+	s.metrics.outcomes(outcome).Inc()
+	s.log.Info("job done", "id", j.id, "state", st.State, "err", msg,
+		"seconds", st.Duration().Seconds())
+}
+
+// executePipeline is the real runner behind the test seam: it dispatches to
+// the critics public API with the job's scale options, the server's shared
+// caches and the server's registry attached.
+func (s *Server) executePipeline(ctx context.Context, req SubmitRequest) ([]byte, error) {
+	opts := []critics.Option{}
+	if req.Quick || s.cfg.QuickScale {
+		opts = append(opts, critics.WithQuickScale())
+	}
+	if req.MeasureInstrs > 0 {
+		opts = append(opts, critics.WithMeasureInstrs(req.MeasureInstrs))
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.cfg.JobWorkers
+	}
+	opts = append(opts,
+		critics.WithWorkers(workers),
+		critics.WithSharedCaches(s.caches),
+		critics.WithTelemetry(s.reg),
+	)
+
+	res := Result{Kind: req.Kind, App: req.App, Experiment: req.Experiment}
+	switch req.Kind {
+	case KindOptimize:
+		rep, err := critics.OptimizeAppContext(ctx, req.App, opts...)
+		if err != nil {
+			return nil, err
+		}
+		res.Text = rep.String()
+		res.Report = rep
+	case KindProfile:
+		prof, err := critics.BuildProfileContext(ctx, req.App, opts...)
+		if err != nil {
+			return nil, err
+		}
+		res.Text = fmt.Sprintf("app %s: %d dynamic instructions profiled, %d unique chains, %d selected, coverage %.1f%%\n",
+			prof.App, prof.TotalDyn, prof.UniqueChains(), len(prof.Selected()), 100*prof.SelectedCoverage)
+		res.Profile = prof
+	case KindExperiment:
+		out, err := critics.ExperimentContext(ctx, req.Experiment, opts...)
+		if err != nil {
+			return nil, err
+		}
+		res.Text = out
+	case KindTrace:
+		var buf strings.Builder
+		rep, err := critics.TraceAppContext(ctx, req.App, &buf, opts...)
+		if err != nil {
+			return nil, err
+		}
+		res.Text = rep.String()
+		res.Report = rep
+		res.Trace = json.RawMessage(buf.String())
+	default:
+		return nil, fmt.Errorf("unknown job kind %q", req.Kind)
+	}
+	return json.Marshal(res)
+}
+
+// ---- HTTP API ------------------------------------------------------------
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	handle := func(method, pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" "+pattern, s.metrics.instrument(pattern, h))
+	}
+	handle("POST", "/v1/jobs", s.handleSubmit)
+	handle("GET", "/v1/jobs", s.handleList)
+	handle("GET", "/v1/jobs/{id}", s.handleStatus)
+	handle("GET", "/v1/jobs/{id}/result", s.handleResult)
+	handle("DELETE", "/v1/jobs/{id}", s.handleCancel)
+	handle("GET", "/v1/apps", s.handleApps)
+	handle("GET", "/v1/experiments", s.handleExperiments)
+	handle("GET", "/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	handle("GET", "/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			writeErr(w, http.StatusServiceUnavailable, "draining", true)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	mux.Handle("GET /metrics", s.reg)
+	return mux
+}
+
+// maxBodyBytes bounds submit bodies; requests are tiny.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err == nil {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed request body: "+err.Error(), false)
+		return
+	}
+	if msg := normalize(&req); msg != "" {
+		writeErr(w, http.StatusBadRequest, msg, false)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is draining; retry against a live instance", true)
+		return
+	}
+	if req.IdempotencyKey != "" {
+		if id, ok := s.byIdem[req.IdempotencyKey]; ok {
+			j := s.jobs[id]
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, j.Status())
+			return
+		}
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("j%06d", s.nextID), req)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.metrics.outcomes("rejected").Inc()
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		writeErr(w, http.StatusTooManyRequests,
+			fmt.Sprintf("job queue full (%d queued); retry after %ds", s.cfg.QueueSize, retryAfterSeconds), true)
+		return
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if req.IdempotencyKey != "" {
+		s.byIdem[req.IdempotencyKey] = j.id
+	}
+	s.metrics.queueDepth.Add(1)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		out = append(out, s.jobs[s.order[i]].Status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// jobFor resolves {id} or writes a 404.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no job %q", id), false)
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFor(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	if res, ok := j.Result(); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(res)
+		return
+	}
+	st := j.Status()
+	if st.State.Terminal() {
+		writeErr(w, http.StatusConflict,
+			fmt.Sprintf("job %s %s: %s", j.id, st.State, st.Error), st.Retryable)
+		return
+	}
+	writeErr(w, http.StatusConflict, fmt.Sprintf("job %s is %s; poll status until succeeded", j.id, st.State), false)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	j.requestCancel()
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, _ *http.Request) {
+	suites := map[string][]string{}
+	for name, apps := range exp.Suites() {
+		names := make([]string, len(apps))
+		for i, a := range apps {
+			names[i] = a.Params.Name
+		}
+		suites[name] = names
+	}
+	writeJSON(w, http.StatusOK, AppsResponse{Suites: suites})
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ExperimentsResponse{Experiments: critics.ExperimentIDs()})
+}
+
+// ---- validation ----------------------------------------------------------
+
+// normalize infers the kind, canonicalizes the app name (case-insensitive
+// catalog match) and validates the request; it returns a non-empty message
+// on rejection.
+func normalize(req *SubmitRequest) string {
+	if req.Kind == "" {
+		switch {
+		case req.App != "" && req.Experiment == "":
+			req.Kind = KindOptimize
+		case req.Experiment != "" && req.App == "":
+			req.Kind = KindExperiment
+		default:
+			return `missing "kind" (one of optimize, profile, experiment, trace)`
+		}
+	}
+	switch req.Kind {
+	case KindOptimize, KindProfile, KindTrace:
+		if req.App == "" {
+			return fmt.Sprintf("%s jobs require an app name (GET /v1/apps lists them)", req.Kind)
+		}
+		name, ok := resolveApp(req.App)
+		if !ok {
+			return fmt.Sprintf("unknown app %q (valid: %s)", req.App, strings.Join(allAppNames(), ", "))
+		}
+		req.App = name
+	case KindExperiment:
+		if req.Experiment == "" {
+			return "experiment jobs require an experiment id (GET /v1/experiments lists them)"
+		}
+		if !validExperiment(req.Experiment) {
+			return fmt.Sprintf("unknown experiment %q (valid: %s)", req.Experiment, strings.Join(critics.ExperimentIDs(), ", "))
+		}
+	default:
+		return fmt.Sprintf("unknown job kind %q (one of optimize, profile, experiment, trace)", req.Kind)
+	}
+	if req.TimeoutMS < 0 || req.Workers < 0 || req.MeasureInstrs < 0 {
+		return "timeout_ms, workers and measure_instrs must be non-negative"
+	}
+	return ""
+}
+
+// resolveApp matches name case-insensitively against the catalog and returns
+// the canonical name.
+func resolveApp(name string) (string, bool) {
+	for _, suite := range exp.SuiteOrder {
+		for _, a := range exp.Suites()[suite] {
+			if strings.EqualFold(a.Params.Name, name) {
+				return a.Params.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// allAppNames lists the full catalog in suite presentation order.
+func allAppNames() []string { return critics.AppNames() }
+
+func validExperiment(id string) bool {
+	for _, e := range exp.IDs() {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- response helpers ----------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string, retryable bool) {
+	writeJSON(w, code, ErrorResponse{Error: msg, Retryable: retryable})
+}

@@ -78,6 +78,22 @@ func buildFixedRegistry() *Registry {
 	for _, v := range []float64{0, 2, 2, 5, 8, 9} {
 		h.Observe(v)
 	}
+	// The criticd server families (internal/server pins the same names; this
+	// locks their exposition shape).
+	reg.Gauge("critics_server_queue_depth", "Jobs admitted to the queue and not yet started.").Set(2)
+	reg.Gauge("critics_server_inflight_jobs", "Jobs currently executing.").Set(1)
+	for outcome, n := range map[string]int64{"succeeded": 9, "failed": 2, "canceled": 1, "panic": 1, "rejected": 3, "dropped": 1} {
+		reg.Counter("critics_server_jobs_total",
+			"Jobs by disposition: succeeded, failed, canceled, panic, rejected (queue full), dropped (drained at shutdown).",
+			L("outcome", outcome)).Add(n)
+	}
+	rh := reg.Histogram("critics_server_http_request_seconds", "HTTP handler latency by route.",
+		ExpBuckets(0.0001, 4, 10), L("endpoint", "/v1/jobs"))
+	for _, v := range []float64{0.0002, 0.001, 0.02} {
+		rh.Observe(v)
+	}
+	reg.Counter("critics_server_http_requests_total", "HTTP requests by route and status code.",
+		L("endpoint", "/v1/jobs"), L("code", "202")).Add(12)
 	return reg
 }
 

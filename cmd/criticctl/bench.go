@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"critics/internal/server"
+)
+
+// benchOptions parameterize one bench run.
+type benchOptions struct {
+	N       int           // total jobs
+	Conc    int           // concurrent submitters
+	App     string        // app to optimize
+	Quick   bool          // reduced-scale windows
+	Timeout time.Duration // overall deadline
+}
+
+// benchResult is what a bench run measured.
+type benchResult struct {
+	OK        int             // jobs that reached succeeded
+	Retries   int             // queue-full (429) resubmissions
+	Wall      time.Duration   // first submit → last terminal status
+	Latencies []time.Duration // per-succeeded-job submit→terminal, sorted ascending
+	Errors    []error         // submit/wait failures (not job failures)
+}
+
+// JobsPerSecond is the succeeded-job throughput over the wall clock.
+func (r benchResult) JobsPerSecond() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Wall.Seconds()
+}
+
+// runBench fires opts.N jobs with opts.Conc submitters and measures per-job
+// latency (submit → terminal). Queue-full rejections are retried after the
+// server's Retry-After hint (plus a small per-submitter jitter so a fleet of
+// rejected submitters doesn't return in lockstep), so bench doubles as an
+// admission-control exerciser. errw receives per-job error lines as they
+// happen; nil discards them.
+func runBench(ctx context.Context, c *server.Client, opts benchOptions, errw io.Writer) benchResult {
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	if errw == nil {
+		errw = io.Discard
+	}
+
+	type outcome struct {
+		latency time.Duration
+		state   server.JobState
+		retries int
+		err     error
+	}
+	results := make([]outcome, opts.N)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(opts.Conc, 1))
+	start := time.Now()
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			var st server.JobStatus
+			var err error
+			for {
+				st, err = c.Submit(ctx, server.SubmitRequest{Kind: server.KindOptimize, App: opts.App, Quick: opts.Quick})
+				var apiErr *server.APIError
+				if errors.As(err, &apiErr) && apiErr.Code == 429 {
+					results[i].retries++
+					select {
+					case <-ctx.Done():
+						results[i].err = ctx.Err()
+						return
+					case <-time.After(apiErr.RetryAfter + time.Duration(i%7)*13*time.Millisecond):
+					}
+					continue
+				}
+				break
+			}
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			st, err = c.Wait(ctx, st.ID, 0)
+			results[i].err = err
+			results[i].state = st.State
+			results[i].latency = time.Since(t0)
+		}(i)
+	}
+	wg.Wait()
+
+	res := benchResult{Wall: time.Since(start)}
+	for _, r := range results {
+		res.Retries += r.retries
+		switch {
+		case r.err == nil && r.state == server.StateSucceeded:
+			res.OK++
+			res.Latencies = append(res.Latencies, r.latency)
+		case r.err != nil:
+			res.Errors = append(res.Errors, r.err)
+			fmt.Fprintln(errw, "criticctl: bench job:", r.err)
+		}
+	}
+	sort.Slice(res.Latencies, func(i, j int) bool { return res.Latencies[i] < res.Latencies[j] })
+	return res
+}
+
+// formatBench renders the result the way cmdBench prints it.
+func formatBench(opts benchOptions, r benchResult) string {
+	out := fmt.Sprintf("bench: %d/%d jobs succeeded in %.2fs (%.2f jobs/s), %d queue-full retries\n",
+		r.OK, opts.N, r.Wall.Seconds(), r.JobsPerSecond(), r.Retries)
+	if len(r.Latencies) > 0 {
+		out += fmt.Sprintf("latency: p50=%.3fs p90=%.3fs p99=%.3fs max=%.3fs\n",
+			pct(r.Latencies, 50).Seconds(), pct(r.Latencies, 90).Seconds(), pct(r.Latencies, 99).Seconds(),
+			r.Latencies[len(r.Latencies)-1].Seconds())
+	}
+	return out
+}
+
+// pct returns the p-th percentile of sorted durations (nearest-rank).
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	return sorted[i-1]
+}

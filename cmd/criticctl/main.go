@@ -12,6 +12,7 @@
 //	criticctl result j000001 -o result.json
 //	criticctl cancel j000001
 //	criticctl bench -n 16 -c 4 -app acrobat -quick # throughput + latency
+//	criticctl workers                              # dist fleet status
 //	criticctl apps
 //	criticctl experiments
 //
@@ -22,12 +23,10 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
-	"sync"
 	"time"
 
 	"critics/internal/server"
@@ -43,6 +42,7 @@ commands:
   wait         poll until the job finishes    (criticctl wait <id> [-timeout d])
   cancel       cancel a queued or running job (criticctl cancel <id>)
   bench        fire N concurrent jobs and report throughput and latency
+  workers      print the distributed-execution fleet status (-dist daemons)
   apps         list the workload catalog
   experiments  list runnable experiment ids
 `)
@@ -117,6 +117,8 @@ func main() {
 		printStatus(st)
 	case "bench":
 		cmdBench(ctx, c, args)
+	case "workers":
+		cmdWorkers(ctx, c)
 	case "apps":
 		suites, err := c.Apps(ctx)
 		if err != nil {
@@ -245,10 +247,8 @@ func cmdSubmit(ctx context.Context, c *server.Client, args []string) {
 	printResultText(res)
 }
 
-// cmdBench fires -n jobs with -c submitters and reports wall-clock
-// throughput plus per-job latency percentiles (submit → terminal). Queue-
-// full rejections are retried after the server's Retry-After hint, so bench
-// doubles as an admission-control exerciser.
+// cmdBench parses flags, delegates to runBench (bench.go) and prints the
+// report.
 func cmdBench(ctx context.Context, c *server.Client, args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
@@ -259,89 +259,30 @@ func cmdBench(ctx context.Context, c *server.Client, args []string) {
 		timeout = fs.Duration("timeout", 10*time.Minute, "overall deadline")
 	)
 	_ = fs.Parse(args)
-	ctx, cancel := context.WithTimeout(ctx, *timeout)
-	defer cancel()
-
-	type outcome struct {
-		latency time.Duration
-		state   server.JobState
-		retries int
-		err     error
-	}
-	results := make([]outcome, *n)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, max(*conc, 1))
-	start := time.Now()
-	for i := range results {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			t0 := time.Now()
-			var st server.JobStatus
-			var err error
-			for {
-				st, err = c.Submit(ctx, server.SubmitRequest{Kind: server.KindOptimize, App: *app, Quick: *quick})
-				var apiErr *server.APIError
-				if errors.As(err, &apiErr) && apiErr.Code == 429 {
-					results[i].retries++
-					select {
-					case <-ctx.Done():
-						results[i].err = ctx.Err()
-						return
-					case <-time.After(apiErr.RetryAfter + time.Duration(i%7)*13*time.Millisecond):
-					}
-					continue
-				}
-				break
-			}
-			if err != nil {
-				results[i].err = err
-				return
-			}
-			st, err = c.Wait(ctx, st.ID, 0)
-			results[i].err = err
-			results[i].state = st.State
-			results[i].latency = time.Since(t0)
-		}(i)
-	}
-	wg.Wait()
-	wall := time.Since(start)
-
-	var ok int
-	var lats []time.Duration
-	var retries int
-	for _, r := range results {
-		retries += r.retries
-		if r.err == nil && r.state == server.StateSucceeded {
-			ok++
-			lats = append(lats, r.latency)
-		} else if r.err != nil {
-			fmt.Fprintln(os.Stderr, "criticctl: bench job:", r.err)
-		}
-	}
-	fmt.Printf("bench: %d/%d jobs succeeded in %.2fs (%.2f jobs/s), %d queue-full retries\n",
-		ok, *n, wall.Seconds(), float64(ok)/wall.Seconds(), retries)
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		fmt.Printf("latency: p50=%.3fs p90=%.3fs p99=%.3fs max=%.3fs\n",
-			pct(lats, 50).Seconds(), pct(lats, 90).Seconds(), pct(lats, 99).Seconds(),
-			lats[len(lats)-1].Seconds())
-	}
-	if ok != *n {
+	opts := benchOptions{N: *n, Conc: *conc, App: *app, Quick: *quick, Timeout: *timeout}
+	res := runBench(ctx, c, opts, os.Stderr)
+	fmt.Print(formatBench(opts, res))
+	if res.OK != opts.N {
 		os.Exit(1)
 	}
 }
 
-// pct returns the p-th percentile of sorted durations (nearest-rank).
-func pct(sorted []time.Duration, p int) time.Duration {
-	if len(sorted) == 0 {
-		return 0
+// cmdWorkers prints the coordinator's fleet status.
+func cmdWorkers(ctx context.Context, c *server.Client) {
+	ws, err := c.DistWorkers(ctx)
+	if err != nil {
+		fatal(err)
 	}
-	i := (len(sorted)*p + 99) / 100
-	if i < 1 {
-		i = 1
+	if len(ws) == 0 {
+		fmt.Println("no workers registered")
+		return
 	}
-	return sorted[i-1]
+	for _, w := range ws {
+		health := "healthy"
+		if !w.Healthy {
+			health = "UNHEALTHY"
+		}
+		fmt.Printf("%s  %s  capacity=%d inflight=%d done=%d failures=%d\n",
+			w.URL, health, w.Capacity, w.Inflight, w.TasksDone, w.Failures)
+	}
 }

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"critics/internal/server"
+)
+
+func TestPct(t *testing.T) {
+	ms := func(ns ...int) []time.Duration {
+		out := make([]time.Duration, len(ns))
+		for i, n := range ns {
+			out[i] = time.Duration(n) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		p      int
+		want   time.Duration
+	}{
+		{"empty", nil, 50, 0},
+		{"single p50", ms(100), 50, 100 * time.Millisecond},
+		{"single p99", ms(100), 99, 100 * time.Millisecond},
+		// Nearest-rank over 1..10: p50 → 5th value, p90 → 9th, p99 and p100
+		// → 10th, p10 → 1st.
+		{"ten p50", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 50, 5 * time.Millisecond},
+		{"ten p90", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 90, 9 * time.Millisecond},
+		{"ten p99", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 99, 10 * time.Millisecond},
+		{"ten p100", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 100, 10 * time.Millisecond},
+		{"ten p10", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 10, 1 * time.Millisecond},
+		// p0 clamps to the first element rather than indexing out of range.
+		{"p0 clamps", ms(7, 8), 0, 7 * time.Millisecond},
+		{"two p75", ms(10, 20), 75, 20 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := pct(c.sorted, c.p); got != c.want {
+			t.Errorf("%s: pct(%v, %d) = %v, want %v", c.name, c.sorted, c.p, got, c.want)
+		}
+	}
+}
+
+// TestRunBenchRetriesQueueFull drives runBench against a stub daemon whose
+// first submissions answer 429 + Retry-After: the bench must honor the hint,
+// resubmit, and count the retries — never report the job as failed.
+func TestRunBenchRetriesQueueFull(t *testing.T) {
+	var submits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if submits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"job queue full","retryable":true}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"j000001","kind":"optimize","app":"acrobat","state":"queued"}`))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":"` + r.PathValue("id") + `","kind":"optimize","app":"acrobat","state":"succeeded"}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := server.NewClient(srv.URL)
+	var errLog strings.Builder
+	opts := benchOptions{N: 3, Conc: 1, App: "acrobat", Quick: true, Timeout: 10 * time.Second}
+	res := runBench(context.Background(), c, opts, &errLog)
+
+	if res.OK != 3 {
+		t.Fatalf("OK = %d, want 3 (errors: %v / %s)", res.OK, res.Errors, errLog.String())
+	}
+	if res.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2 (submits seen: %d)", res.Retries, submits.Load())
+	}
+	if len(res.Latencies) != 3 {
+		t.Fatalf("Latencies = %v, want 3 entries", res.Latencies)
+	}
+	if got := submits.Load(); got != 5 {
+		t.Fatalf("server saw %d submits, want 5 (3 jobs + 2 rejected attempts)", got)
+	}
+
+	out := formatBench(opts, res)
+	if !strings.Contains(out, "3/3 jobs succeeded") || !strings.Contains(out, "2 queue-full retries") {
+		t.Fatalf("formatBench output missing expected fields:\n%s", out)
+	}
+	if !strings.Contains(out, "p50=") || !strings.Contains(out, "p99=") {
+		t.Fatalf("formatBench output missing percentiles:\n%s", out)
+	}
+}
+
+// TestRunBenchSurfacesFailures: non-retryable submit errors land in Errors
+// and do not hang the run.
+func TestRunBenchSurfacesFailures(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"unknown app","retryable":false}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	res := runBench(context.Background(), server.NewClient(srv.URL),
+		benchOptions{N: 2, Conc: 2, App: "nope", Timeout: 5 * time.Second}, nil)
+	if res.OK != 0 || len(res.Errors) != 2 {
+		t.Fatalf("OK=%d Errors=%v, want 0 and 2 errors", res.OK, res.Errors)
+	}
+}

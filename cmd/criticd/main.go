@@ -13,6 +13,16 @@
 // /v1/jobs/{id}, GET /v1/apps, /v1/experiments, /healthz, /readyz,
 // /metrics. cmd/criticctl is the matching client.
 //
+// Distributed execution (internal/dist): -dist turns the daemon into a fleet
+// coordinator — jobs' measurement units are farmed out to workers, and the
+// fleet-management endpoints appear under /dist/v1/. Workers are listed
+// up-front (-dist-workers) or self-register. -worker starts the other side:
+// a task-execution node that serves /dist/v1/task and, given -coordinator,
+// announces itself (deregistering again on shutdown).
+//
+//	criticd -worker -addr 127.0.0.1:9721 -coordinator http://coord:9720
+//	criticd -dist -dist-workers http://w1:9721,http://w2:9721
+//
 // SIGINT/SIGTERM drain gracefully: readiness flips to 503, queued jobs fail
 // with a retryable status, in-flight jobs complete (up to -drain-timeout),
 // then the process exits 0.
@@ -27,9 +37,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"critics/internal/dist"
 	"critics/internal/server"
 	"critics/internal/telemetry"
 )
@@ -44,6 +56,14 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "grace for in-flight jobs at shutdown")
 		quick        = flag.Bool("quick", false, "force reduced-scale windows for every job")
 		verbose      = flag.Bool("v", false, "structured request/job log on stderr")
+
+		worker      = flag.Bool("worker", false, "run as a task-execution worker instead of a job daemon")
+		coordinator = flag.String("coordinator", "", "worker mode: coordinator base URL to register with")
+		advertise   = flag.String("advertise", "", "worker mode: base URL the coordinator should dial back (default http://<resolved addr>)")
+		capacity    = flag.Int("capacity", 2, "worker mode: tasks executed concurrently")
+
+		distMode    = flag.Bool("dist", false, "enable distributed execution (this daemon coordinates a worker fleet)")
+		distWorkers = flag.String("dist-workers", "", "comma-separated worker base URLs to register up-front (implies -dist)")
 	)
 	flag.Parse()
 
@@ -53,15 +73,30 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	if *worker {
+		runWorker(logger, *addr, *coordinator, *advertise, *capacity, *jobWorkers, *drainTimeout)
+		return
+	}
+
 	reg := telemetry.NewRegistry()
+	var coord *dist.Coordinator
+	if *distMode || *distWorkers != "" {
+		coord = dist.NewCoordinator(dist.Config{Registry: reg, Logger: logger})
+		for _, u := range strings.Split(*distWorkers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				coord.AddWorkerCapacity(strings.TrimRight(u, "/"), *capacity)
+			}
+		}
+	}
 	srv := server.New(server.Config{
-		QueueSize:  *queueSize,
-		Workers:    *jobs,
-		JobWorkers: *jobWorkers,
-		JobTimeout: *jobTimeout,
-		QuickScale: *quick,
-		Registry:   reg,
-		Logger:     logger,
+		QueueSize:   *queueSize,
+		Workers:     *jobs,
+		JobWorkers:  *jobWorkers,
+		JobTimeout:  *jobTimeout,
+		QuickScale:  *quick,
+		Registry:    reg,
+		Logger:      logger,
+		Coordinator: coord,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -74,7 +109,8 @@ func main() {
 	// The one line scripts parse: the resolved address, including an
 	// ephemeral port when -addr ended in :0.
 	fmt.Printf("criticd listening on http://%s\n", ln.Addr())
-	logger.Info("serving", "addr", ln.Addr().String(), "queue", *queueSize, "jobs", *jobs)
+	logger.Info("serving", "addr", ln.Addr().String(), "queue", *queueSize, "jobs", *jobs,
+		"dist", coord != nil)
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -91,16 +127,98 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	// Drain order: refuse new work and finish jobs first, then close the
-	// HTTP listener so late status polls still get answers while jobs run.
+	// Drain order: refuse new work and finish jobs first (the coordinator
+	// drains alongside so remote units complete), then close the HTTP
+	// listener so late status polls still get answers while jobs run.
+	if coord != nil {
+		defer coord.Close()
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "criticd: drain incomplete:", err)
 		_ = hs.Shutdown(context.Background())
 		os.Exit(1)
+	}
+	if coord != nil {
+		if err := coord.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "criticd:", err)
+		}
 	}
 	if err := hs.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "criticd:", err)
 		os.Exit(1)
 	}
 	logger.Info("drained cleanly")
+}
+
+// runWorker is criticd -worker: serve the dist task API, optionally announce
+// to a coordinator, and on SIGINT/SIGTERM deregister, finish in-flight tasks
+// and exit.
+func runWorker(logger *slog.Logger, addr, coordURL, advertise string, capacity, jobWorkers int, drainTimeout time.Duration) {
+	reg := telemetry.NewRegistry()
+	wk := dist.NewWorker(dist.WorkerConfig{
+		Workers:  jobWorkers,
+		Capacity: capacity,
+		Registry: reg,
+		Logger:   logger,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", wk.Handler())
+	mux.Handle("GET /metrics", reg)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "criticd:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: mux}
+
+	// Same parse line as daemon mode, so the launch scripts are shared.
+	fmt.Printf("criticd listening on http://%s\n", ln.Addr())
+	if advertise == "" {
+		advertise = "http://" + ln.Addr().String()
+	}
+	advertise = strings.TrimRight(advertise, "/")
+	logger.Info("worker serving", "addr", ln.Addr().String(), "capacity", capacity, "advertise", advertise)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	coordURL = strings.TrimRight(coordURL, "/")
+	if coordURL != "" {
+		regCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		if err := dist.Register(regCtx, nil, coordURL, advertise, capacity); err != nil {
+			cancel()
+			fmt.Fprintln(os.Stderr, "criticd:", err)
+			os.Exit(1)
+		}
+		cancel()
+		logger.Info("registered with coordinator", "coordinator", coordURL)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		logger.Info("draining", "signal", sig.String(), "grace", drainTimeout.String())
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "criticd:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Drain order: leave the fleet so no new tasks are routed here, finish
+	// in-flight tasks, then close the listener.
+	if coordURL != "" {
+		if err := dist.Deregister(ctx, nil, coordURL, advertise); err != nil {
+			logger.Warn("deregister failed", "err", err)
+		}
+	}
+	wk.Drain()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "criticd:", err)
+		os.Exit(1)
+	}
+	logger.Info("worker drained cleanly")
 }

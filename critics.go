@@ -33,6 +33,7 @@ import (
 	"critics/internal/cpu"
 	"critics/internal/energy"
 	"critics/internal/exp"
+	"critics/internal/sched"
 	"critics/internal/telemetry"
 	"critics/internal/trace"
 	"critics/internal/workload"
@@ -121,6 +122,25 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 // TraceApp.
 func WithTracer(tr *telemetry.Tracer) Option {
 	return func(c *exp.Context) { c.SetTracer(tr) }
+}
+
+// WithRemoteExecution routes the call's expensive work to a worker fleet:
+// measurement units (profile→compile→simulate, the dominant cost of every
+// experiment) dispatch through rm — typically a *dist.Coordinator — and,
+// when mapper is non-nil, shard maps run on it instead of a local pool so
+// many units are on the wire at once. Results are bit-identical to local
+// execution (the dist package's determinism test enforces it); a dispatch
+// failure falls back to computing locally. Either argument may be nil to
+// enable only half the wiring.
+func WithRemoteExecution(rm exp.Remote, mapper sched.Mapper) Option {
+	return func(c *exp.Context) {
+		if rm != nil {
+			c.SetRemote(rm)
+		}
+		if mapper != nil {
+			c.SetMapper(mapper)
+		}
+	}
 }
 
 // SharedCaches is an opaque handle to a process-wide artifact cache bundle:

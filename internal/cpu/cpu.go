@@ -176,9 +176,11 @@ type Result struct {
 	L2Accesses     int64
 	DRAMAccesses   int64
 
-	// Hierarchy/BPU handles for stats and the energy model.
-	Hier *cache.Hierarchy
-	BPU  *bpu.Predictor
+	// Hierarchy/BPU handles for stats and the energy model. In-memory only:
+	// excluded from the JSON wire form (internal/dist ships Results between
+	// machines; no consumer of a remote result reads these).
+	Hier *cache.Hierarchy `json:"-"`
+	BPU  *bpu.Predictor   `json:"-"`
 
 	// Records is non-nil when Config.CollectRecords is set; aligned with
 	// the input dyn slice.

@@ -1,0 +1,641 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"critics/internal/exp"
+	"critics/internal/sched"
+	"critics/internal/telemetry"
+)
+
+// Config tunes a Coordinator. The zero value is usable; NewCoordinator fills
+// defaults.
+type Config struct {
+	// TaskTimeout bounds a single dispatch attempt (post → decoded result).
+	// Default 2m.
+	TaskTimeout time.Duration
+
+	// MaxAttempts is how many workers a task tries before the coordinator
+	// gives up and the caller falls back to local execution. Default 4.
+	MaxAttempts int
+
+	// RetryBackoff is the delay before the second attempt; it doubles per
+	// attempt. Default 100ms.
+	RetryBackoff time.Duration
+
+	// HedgeDelay is how long an attempt may stay outstanding before a
+	// speculative duplicate is dispatched to a different worker (first result
+	// wins, the loser is cancelled). 0 disables hedging. Default 30s.
+	HedgeDelay time.Duration
+
+	// Heartbeat is the /readyz probe cadence. Default 2s.
+	Heartbeat time.Duration
+
+	// ProbeTimeout bounds one heartbeat probe. Default 1s.
+	ProbeTimeout time.Duration
+
+	// FailAfter is how many consecutive probe failures mark a worker
+	// unhealthy. Default 2.
+	FailAfter int
+
+	// Oversubscribe multiplies the fleet's healthy capacity when sizing
+	// Map's local shard pool, keeping workers saturated while shards block
+	// on the wire. Default 2.
+	Oversubscribe int
+
+	// Registry receives the coordinator's metric families; nil disables them.
+	Registry *telemetry.Registry
+
+	// Logger receives structured dispatch logs; nil discards them.
+	Logger *slog.Logger
+
+	// Client issues task and probe requests; nil uses a default with no
+	// global timeout (per-attempt contexts bound each call).
+	Client *http.Client
+}
+
+// workerState is one fleet member. Mutable fields are guarded by
+// Coordinator.mu except the atomics, which hot paths touch without it.
+type workerState struct {
+	url      string
+	capacity int
+	seq      int64 // registration order; dispatch tie-break, so retries are deterministic under equal load
+
+	healthy    bool
+	probeFails int // consecutive heartbeat failures
+
+	inflightN atomic.Int64
+	tasksDone atomic.Int64
+	failures  atomic.Int64
+
+	inflightG  *telemetry.Gauge   // nil when metrics are off
+	tasksTotal *telemetry.Counter // nil when metrics are off
+}
+
+// Coordinator partitions experiment work across a worker fleet. It implements
+// exp.Remote (MeasureRemote dispatches one measurement unit with retry and
+// hedging) and sched.Mapper (Map runs shard closures on an oversubscribed
+// local pool so many units are on the wire at once). Construct with
+// NewCoordinator; stop with Drain then Close.
+type Coordinator struct {
+	cfg Config
+	log *slog.Logger
+	met *metrics // nil when cfg.Registry is nil
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	nextSeq int64
+
+	nextTask atomic.Int64
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	stopHeartbeat context.CancelFunc
+	heartbeatDone chan struct{}
+}
+
+// NewCoordinator builds a coordinator and starts its heartbeat loop.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.TaskTimeout <= 0 {
+		cfg.TaskTimeout = 2 * time.Minute
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if cfg.HedgeDelay == 0 {
+		cfg.HedgeDelay = 30 * time.Second
+	}
+	if cfg.HedgeDelay < 0 {
+		cfg.HedgeDelay = 0 // negative disables explicitly
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 2
+	}
+	if cfg.Oversubscribe <= 0 {
+		cfg.Oversubscribe = 2
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 4}))
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		log:     log,
+		workers: make(map[string]*workerState),
+	}
+	if cfg.Registry != nil {
+		c.met = newMetrics(cfg.Registry)
+	}
+	hbCtx, cancel := context.WithCancel(context.Background())
+	c.stopHeartbeat = cancel
+	c.heartbeatDone = make(chan struct{})
+	go c.heartbeatLoop(hbCtx)
+	return c
+}
+
+// Close stops the heartbeat loop. It does not wait for in-flight tasks; call
+// Drain first for a graceful stop.
+func (c *Coordinator) Close() {
+	c.stopHeartbeat()
+	<-c.heartbeatDone
+}
+
+// Drain refuses new dispatches (MeasureRemote errors immediately, sending
+// callers to their local fallback) and waits for in-flight tasks or ctx.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.draining.Store(true)
+	done := make(chan struct{})
+	go func() { c.inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("dist: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// AddWorker registers a worker by base URL with capacity 1, probing it once
+// synchronously so an alive worker is dispatchable immediately.
+func (c *Coordinator) AddWorker(url string) { c.AddWorkerCapacity(url, 1) }
+
+// AddWorkerCapacity registers a worker with an explicit concurrent-task
+// capacity. Re-registering an existing URL updates its capacity and resets
+// its health (a restarted worker re-announcing itself).
+func (c *Coordinator) AddWorkerCapacity(url string, capacity int) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	alive := c.probe(url)
+
+	c.mu.Lock()
+	w, ok := c.workers[url]
+	if !ok {
+		w = &workerState{url: url, seq: c.nextSeq}
+		c.nextSeq++
+		if c.met != nil {
+			w.inflightG = c.met.inflight(url)
+			w.tasksTotal = c.met.workerTasks(url)
+		}
+		c.workers[url] = w
+	}
+	w.capacity = capacity
+	w.healthy = alive
+	w.probeFails = 0
+	c.updateHealthyGaugeLocked()
+	c.mu.Unlock()
+
+	c.log.Info("worker registered", "worker", url, "capacity", capacity, "healthy", alive)
+}
+
+// RemoveWorker drops a worker from the fleet. In-flight tasks on it run to
+// completion (or their timeout); it just receives no new ones.
+func (c *Coordinator) RemoveWorker(url string) {
+	c.mu.Lock()
+	_, ok := c.workers[url]
+	delete(c.workers, url)
+	c.updateHealthyGaugeLocked()
+	c.mu.Unlock()
+	if ok {
+		c.log.Info("worker deregistered", "worker", url)
+	}
+}
+
+// Workers returns fleet status sorted by registration order.
+func (c *Coordinator) Workers() []WorkerStatus {
+	c.mu.Lock()
+	states := make([]*workerState, 0, len(c.workers))
+	for _, w := range c.workers {
+		states = append(states, w)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].seq < states[j].seq })
+	out := make([]WorkerStatus, len(states))
+	for i, w := range states {
+		out[i] = WorkerStatus{
+			URL:       w.url,
+			Healthy:   w.healthy,
+			Capacity:  w.capacity,
+			Inflight:  int(w.inflightN.Load()),
+			TasksDone: w.tasksDone.Load(),
+			Failures:  w.failures.Load(),
+		}
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// HealthyWorkers returns how many fleet members currently pass heartbeats.
+func (c *Coordinator) HealthyWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.healthyCountLocked()
+}
+
+func (c *Coordinator) healthyCountLocked() int {
+	n := 0
+	for _, w := range c.workers {
+		if w.healthy {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) updateHealthyGaugeLocked() {
+	if c.met != nil {
+		c.met.healthy.Set(int64(c.healthyCountLocked()))
+	}
+}
+
+// markUnhealthy records a dispatch failure against a worker without waiting
+// for the next heartbeat to notice.
+func (c *Coordinator) markUnhealthy(url string) {
+	c.mu.Lock()
+	if w, ok := c.workers[url]; ok && w.healthy {
+		w.healthy = false
+		w.probeFails = c.cfg.FailAfter
+		c.updateHealthyGaugeLocked()
+		c.log.Warn("worker marked unhealthy after dispatch failure", "worker", url)
+	}
+	c.mu.Unlock()
+}
+
+// heartbeatLoop probes every worker's /readyz each Heartbeat tick.
+func (c *Coordinator) heartbeatLoop(ctx context.Context) {
+	defer close(c.heartbeatDone)
+	t := time.NewTicker(c.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		urls := make([]string, 0, len(c.workers))
+		for url := range c.workers {
+			urls = append(urls, url)
+		}
+		c.mu.Unlock()
+		for _, url := range urls {
+			alive := c.probe(url)
+			c.mu.Lock()
+			w, ok := c.workers[url]
+			if !ok {
+				c.mu.Unlock()
+				continue
+			}
+			if alive {
+				if !w.healthy {
+					c.log.Info("worker healthy again", "worker", url)
+				}
+				w.healthy = true
+				w.probeFails = 0
+			} else {
+				w.probeFails++
+				if w.probeFails >= c.cfg.FailAfter && w.healthy {
+					w.healthy = false
+					c.log.Warn("worker failed heartbeats", "worker", url, "consecutive", w.probeFails)
+				}
+			}
+			c.updateHealthyGaugeLocked()
+			c.mu.Unlock()
+		}
+	}
+}
+
+// probe GETs a worker's /readyz once.
+func (c *Coordinator) probe(url string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// pickWorker chooses the healthy worker with the fewest in-flight tasks,
+// breaking ties by registration order (deterministic, so tests can predict
+// routing), skipping URLs in exclude.
+func (c *Coordinator) pickWorker(exclude map[string]bool) *workerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *workerState
+	var bestLoad int64
+	for _, w := range c.workers {
+		if !w.healthy || exclude[w.url] {
+			continue
+		}
+		// Load-balance by slots-per-capacity so a capacity-4 worker takes
+		// four tasks for a capacity-1 worker's one.
+		load := w.inflightN.Load() * 16 / int64(w.capacity)
+		if best == nil || load < bestLoad || (load == bestLoad && w.seq < best.seq) {
+			best, bestLoad = w, load
+		}
+	}
+	return best
+}
+
+// errPermanent wraps worker 4xx responses: the task itself is bad, so trying
+// another worker would fail identically.
+type errPermanent struct{ err error }
+
+func (e errPermanent) Error() string { return e.err.Error() }
+func (e errPermanent) Unwrap() error { return e.err }
+
+// errNoWorkers is returned when no healthy, non-excluded worker exists.
+var errNoWorkers = errors.New("dist: no healthy workers")
+
+// MeasureRemote implements exp.Remote: it dispatches one measurement unit to
+// the fleet with retry, backoff and hedging, and returns the decoded
+// measurement. Any error sends the caller to its local fallback.
+func (c *Coordinator) MeasureRemote(ctx context.Context, req exp.MeasureRequest) (*exp.Measurement, error) {
+	if c.draining.Load() {
+		return nil, errors.New("dist: coordinator draining")
+	}
+	c.inflight.Add(1)
+	defer c.inflight.Done()
+
+	task := Task{ID: c.nextTask.Add(1), Req: req}
+	start := time.Now()
+	m, err := c.dispatch(ctx, task)
+	if err != nil {
+		if c.met != nil {
+			c.met.failed.Inc()
+		}
+		c.log.Warn("task exhausted all attempts", "task", task.ID, "app", req.App.Name, "kind", req.Kind, "err", err)
+		return nil, err
+	}
+	if c.met != nil {
+		c.met.taskSecs.Observe(time.Since(start).Seconds())
+	}
+	return m, nil
+}
+
+// dispatch runs the retry loop: pick a worker, try it (with hedging), and on
+// a transient failure back off exponentially and try a different one.
+func (c *Coordinator) dispatch(ctx context.Context, task Task) (*exp.Measurement, error) {
+	exclude := make(map[string]bool)
+	var lastErr error
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			if c.met != nil {
+				c.met.retried.Inc()
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		w := c.pickWorker(exclude)
+		if w == nil && len(exclude) > 0 {
+			// Every healthy worker has already failed this task; the fleet
+			// may have partially recovered, so widen the net once.
+			clear(exclude)
+			w = c.pickWorker(exclude)
+		}
+		if w == nil {
+			lastErr = errNoWorkers
+			continue
+		}
+		m, err := c.tryWorker(ctx, w, task, exclude)
+		if err == nil {
+			return m, nil
+		}
+		var perm errPermanent
+		if errors.As(err, &perm) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("dist: task %d failed after %d attempts: %w", task.ID, c.cfg.MaxAttempts, lastErr)
+}
+
+// attemptResult is one dispatch leg's outcome inside tryWorker.
+type attemptResult struct {
+	m      *exp.Measurement
+	err    error
+	worker *workerState
+	hedged bool
+}
+
+// tryWorker posts the task to w, hedging onto a different worker if the
+// attempt is still outstanding after HedgeDelay. The first success wins and
+// the loser's request context is cancelled. Both the primary and the hedge
+// share one TaskTimeout window. Workers that served a leg (success or
+// transient failure) are added to exclude so a retry goes elsewhere.
+func (c *Coordinator) tryWorker(ctx context.Context, w *workerState, task Task, exclude map[string]bool) (*exp.Measurement, error) {
+	attemptCtx, cancel := context.WithTimeout(ctx, c.cfg.TaskTimeout)
+	defer cancel()
+
+	results := make(chan attemptResult, 2)
+	leg := func(w *workerState, hedged bool) {
+		m, err := c.post(attemptCtx, w, task)
+		results <- attemptResult{m: m, err: err, worker: w, hedged: hedged}
+	}
+
+	exclude[w.url] = true
+	outstanding := 1
+	go leg(w, false)
+
+	var hedgeC <-chan time.Time
+	if c.cfg.HedgeDelay > 0 {
+		ht := time.NewTimer(c.cfg.HedgeDelay)
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+
+	var firstErr error
+	for outstanding > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			hw := c.pickWorker(exclude)
+			if hw == nil {
+				break
+			}
+			exclude[hw.url] = true
+			outstanding++
+			if c.met != nil {
+				c.met.hedged.Inc()
+			}
+			c.log.Info("hedging straggler", "task", task.ID, "slow", w.url, "hedge", hw.url)
+			go leg(hw, true)
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				cancel() // the loser's request dies with the context
+				if r.hedged && c.met != nil {
+					c.met.hedgeWins.Inc()
+				}
+				return r.m, nil
+			}
+			var perm errPermanent
+			if errors.As(r.err, &perm) {
+				cancel()
+				return nil, r.err
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		}
+	}
+	return nil, firstErr
+}
+
+// post performs one HTTP task round-trip against a worker and classifies the
+// outcome: 200 → measurement; 4xx → permanent; anything else (5xx, transport
+// error, timeout) → transient, and the worker is marked unhealthy so the
+// heartbeat, not the dispatch path, decides when it is trusted again.
+func (c *Coordinator) post(ctx context.Context, w *workerState, task Task) (*exp.Measurement, error) {
+	body, err := json.Marshal(task)
+	if err != nil {
+		return nil, errPermanent{fmt.Errorf("dist: encoding task: %w", err)}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+TaskPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, errPermanent{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	w.inflightN.Add(1)
+	if w.inflightG != nil {
+		w.inflightG.Add(1)
+	}
+	if c.met != nil {
+		c.met.dispatched.Inc()
+	}
+	defer func() {
+		w.inflightN.Add(-1)
+		if w.inflightG != nil {
+			w.inflightG.Add(-1)
+		}
+	}()
+
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		w.failures.Add(1)
+		c.markUnhealthy(w.url)
+		return nil, fmt.Errorf("dist: posting task %d to %s: %w", task.ID, w.url, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&eb)
+		err := fmt.Errorf("dist: worker %s answered %s for task %d: %s", w.url, resp.Status, task.ID, eb.Error)
+		w.failures.Add(1)
+		if resp.StatusCode/100 == 4 {
+			return nil, errPermanent{err}
+		}
+		c.markUnhealthy(w.url)
+		return nil, err
+	}
+
+	var tr TaskResult
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		w.failures.Add(1)
+		c.markUnhealthy(w.url)
+		return nil, fmt.Errorf("dist: decoding task %d result from %s: %w", task.ID, w.url, err)
+	}
+	w.tasksDone.Add(1)
+	if w.tasksTotal != nil {
+		w.tasksTotal.Inc()
+	}
+	return tr.measurement(), nil
+}
+
+// Map implements sched.Mapper by running shard closures on a local pool wide
+// enough to keep the fleet saturated: healthy capacity × Oversubscribe, but
+// never narrower than GOMAXPROCS (local fallbacks still need CPU). Each
+// closure's measurement cache misses dispatch through MeasureRemote, so the
+// pool's width is the number of tasks in flight, and the sched.Pool Map
+// contract (every index exactly once, caller writes index-addressed slots)
+// carries the determinism guarantee through unchanged.
+func (c *Coordinator) Map(n int, f func(i int)) {
+	width := runtime.GOMAXPROCS(0)
+	c.mu.Lock()
+	fleetCap := 0
+	for _, w := range c.workers {
+		if w.healthy {
+			fleetCap += w.capacity
+		}
+	}
+	c.mu.Unlock()
+	if fleet := fleetCap * c.cfg.Oversubscribe; fleet > width {
+		width = fleet
+	}
+	sched.NewPool(width).Named("dist").Map(n, f)
+}
+
+var (
+	_ exp.Remote   = (*Coordinator)(nil)
+	_ sched.Mapper = (*Coordinator)(nil)
+)
+
+// Handler returns the coordinator's fleet-management HTTP API, mounted into
+// criticd's mux under /dist/v1/ when distribution is enabled.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+RegisterPath, func(rw http.ResponseWriter, r *http.Request) {
+		var reg registerRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxTaskBody)).Decode(&reg); err != nil || reg.URL == "" {
+			writeJSON(rw, http.StatusBadRequest, errorBody{Error: "register: url required"})
+			return
+		}
+		c.AddWorkerCapacity(reg.URL, reg.Capacity)
+		writeJSON(rw, http.StatusOK, map[string]string{"status": "registered"})
+	})
+	mux.HandleFunc("POST "+DeregisterPath, func(rw http.ResponseWriter, r *http.Request) {
+		var reg registerRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxTaskBody)).Decode(&reg); err != nil || reg.URL == "" {
+			writeJSON(rw, http.StatusBadRequest, errorBody{Error: "deregister: url required"})
+			return
+		}
+		c.RemoveWorker(reg.URL)
+		writeJSON(rw, http.StatusOK, map[string]string{"status": "deregistered"})
+	})
+	mux.HandleFunc("GET "+WorkersPath, func(rw http.ResponseWriter, _ *http.Request) {
+		writeJSON(rw, http.StatusOK, WorkersResponse{Workers: c.Workers()})
+	})
+	return mux
+}

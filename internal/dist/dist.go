@@ -1,0 +1,121 @@
+// Package dist is the distributed shard execution subsystem: a Coordinator
+// that farms an experiment's measurement units out to a fleet of Workers
+// over HTTP/JSON, behind the sched.Mapper / exp.Remote abstractions so the
+// experiment code is unchanged between local and distributed runs.
+//
+// The unit of work is one exp.MeasureRequest — the serializable form of an
+// exp.Context.MeasureVariant call, the profile→compile→simulate leaf that
+// dominates every experiment's cost. The coordinator runs shard closures on
+// local goroutines (Coordinator.Map); each closure's measurement cache miss
+// dispatches a Task to a worker (Coordinator.MeasureRemote), and the decoded
+// TaskResult is written into the same preallocated, index-addressed memo
+// slot a local build would have filled. Every wire field is integer- or
+// bool-valued plain data, so the JSON round-trip is exact and a distributed
+// run is bit-identical to a serial local one — the property
+// TestDistributedDeterminism enforces with a mid-run worker failure
+// injected.
+//
+// Robustness model:
+//
+//   - Registration: workers are added explicitly (AddWorker / the
+//     coordinator's POST /dist/v1/register endpoint) and removed on
+//     deregistration or operator action.
+//   - Health: a heartbeat loop probes every worker's /readyz; FailAfter
+//     consecutive failures mark it unhealthy (skipped by dispatch) until a
+//     probe succeeds again. A failed task dispatch marks the worker
+//     unhealthy immediately — faster than waiting for the next probe.
+//   - Retry: a failed attempt is retried with exponential backoff on a
+//     different worker (the failing worker is excluded) up to MaxAttempts;
+//     4xx task responses are permanent (the request itself is bad) and are
+//     not retried.
+//   - Hedging: an attempt still outstanding after HedgeDelay is re-dispatched
+//     to a second worker; the first result wins and the loser is cancelled,
+//     cutting straggler tail latency.
+//   - Drain: Coordinator.Drain refuses new dispatches and waits for
+//     in-flight ones; Worker.Drain flips /readyz to 503 (heartbeats stop
+//     routing to it), refuses new tasks and waits for running ones.
+//   - Fallback: when every attempt fails (fleet empty, drained, partitioned),
+//     the dispatching exp.Context computes the unit locally, so a degraded
+//     fleet degrades throughput, never correctness.
+//
+// All of it is instrumented: tasks dispatched/retried/hedged/failed
+// counters, a task latency histogram, per-worker in-flight gauges and task
+// counters, and a healthy-workers gauge (metrics.go; family names are pinned
+// by the telemetry exposition golden).
+package dist
+
+import (
+	"critics/internal/cpu"
+	"critics/internal/exp"
+	"critics/internal/trace"
+)
+
+// Wire paths. The worker serves TaskPath (plus /healthz and /readyz); the
+// coordinator serves the register/deregister/workers endpoints (mounted into
+// criticd's mux when distribution is enabled).
+const (
+	TaskPath       = "/dist/v1/task"
+	RegisterPath   = "/dist/v1/register"
+	DeregisterPath = "/dist/v1/deregister"
+	WorkersPath    = "/dist/v1/workers"
+)
+
+// Task is the coordinator→worker unit of work: one measurement request plus
+// a coordinator-scoped id for log correlation.
+type Task struct {
+	ID  int64              `json:"id"`
+	Req exp.MeasureRequest `json:"req"`
+}
+
+// TaskResult is the worker's reply: the measurement in wire form. The
+// cpu.Result's in-memory hierarchy/BPU handles are excluded from JSON (no
+// consumer of a remote measurement reads them); everything else — counters,
+// per-instruction records when requested, the dynamic stream and its fanouts
+// — round-trips exactly.
+type TaskResult struct {
+	Res     cpu.Result  `json:"res"`
+	Dyns    []trace.Dyn `json:"dyns"`
+	Fanouts []int32     `json:"fanouts"`
+}
+
+// resultOf converts a measurement to its wire form.
+func resultOf(m *exp.Measurement) TaskResult {
+	return TaskResult{Res: m.Res, Dyns: m.Dyns, Fanouts: m.Fanouts}
+}
+
+// measurement converts the wire form back.
+func (r TaskResult) measurement() *exp.Measurement {
+	return &exp.Measurement{Res: r.Res, Dyns: r.Dyns, Fanouts: r.Fanouts}
+}
+
+// registerRequest is the POST /dist/v1/register (and /deregister) body.
+type registerRequest struct {
+	// URL is the worker's advertised base URL, reachable from the
+	// coordinator.
+	URL string `json:"url"`
+
+	// Capacity is how many tasks the worker executes concurrently
+	// (its admission semaphore size); 0 means 1.
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// WorkerStatus is one fleet member's state as reported by GET
+// /dist/v1/workers and Coordinator.Workers.
+type WorkerStatus struct {
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	Capacity  int    `json:"capacity"`
+	Inflight  int    `json:"inflight"`
+	TasksDone int64  `json:"tasks_done"`
+	Failures  int64  `json:"failures"`
+}
+
+// WorkersResponse is the GET /dist/v1/workers body.
+type WorkersResponse struct {
+	Workers []WorkerStatus `json:"workers"`
+}
+
+// errorBody is the JSON body of non-2xx dist responses.
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,50 @@
+package dist
+
+import "critics/internal/telemetry"
+
+// metrics are the coordinator's registry series. Family names are pinned by
+// the telemetry package's exposition golden test — rename there too.
+type metrics struct {
+	dispatched *telemetry.Counter   // attempts actually posted to a worker
+	retried    *telemetry.Counter   // attempts beyond a task's first
+	hedged     *telemetry.Counter   // speculative straggler re-dispatches
+	hedgeWins  *telemetry.Counter   // hedges that returned first
+	failed     *telemetry.Counter   // tasks that exhausted every attempt
+	healthy    *telemetry.Gauge     // workers currently passing heartbeats
+	taskSecs   *telemetry.Histogram // dispatch→result latency per task
+
+	// Per-worker series, labeled by advertised URL.
+	inflight    func(worker string) *telemetry.Gauge
+	workerTasks func(worker string) *telemetry.Counter
+}
+
+// taskSecondsBuckets cover 1ms..~2min task latencies.
+var taskSecondsBuckets = telemetry.ExpBuckets(0.001, 2, 18)
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	return &metrics{
+		dispatched: reg.Counter("critics_dist_tasks_dispatched_total",
+			"Task attempts dispatched to workers."),
+		retried: reg.Counter("critics_dist_tasks_retried_total",
+			"Task attempts beyond the first (failure retries onto another worker)."),
+		hedged: reg.Counter("critics_dist_tasks_hedged_total",
+			"Speculative re-dispatches of straggler tasks."),
+		hedgeWins: reg.Counter("critics_dist_hedge_wins_total",
+			"Hedged dispatches that produced the winning result."),
+		failed: reg.Counter("critics_dist_tasks_failed_total",
+			"Tasks that exhausted every attempt (the caller falls back to local execution)."),
+		healthy: reg.Gauge("critics_dist_workers_healthy",
+			"Workers currently passing heartbeat probes."),
+		taskSecs: reg.Histogram("critics_dist_task_seconds",
+			"Distributed task latency, dispatch to result (includes retries and hedges).",
+			taskSecondsBuckets),
+		inflight: func(worker string) *telemetry.Gauge {
+			return reg.Gauge("critics_dist_worker_inflight",
+				"Tasks currently in flight per worker.", telemetry.L("worker", worker))
+		},
+		workerTasks: func(worker string) *telemetry.Counter {
+			return reg.Counter("critics_dist_worker_tasks_total",
+				"Tasks completed successfully per worker.", telemetry.L("worker", worker))
+		},
+	}
+}

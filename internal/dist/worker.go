@@ -1,0 +1,248 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"critics/internal/exp"
+	"critics/internal/telemetry"
+)
+
+// WorkerConfig tunes a worker. The zero value is usable; NewWorker fills
+// defaults.
+type WorkerConfig struct {
+	// Caches is the artifact bundle tasks execute against — the worker-side
+	// equivalent of criticd's process-wide shared cache, so repeated tasks
+	// for the same app reuse programs/profiles/variants. nil creates one.
+	Caches *exp.Caches
+
+	// Workers bounds each task's internal shard pool (per-window profile
+	// extraction); 0 selects GOMAXPROCS.
+	Workers int
+
+	// Capacity is how many tasks execute concurrently; excess requests wait
+	// (the coordinator's per-attempt timeout governs). /readyz reports 503
+	// while all slots are busy. Default GOMAXPROCS.
+	Capacity int
+
+	// Registry receives the worker's metric families; nil disables them.
+	Registry *telemetry.Registry
+
+	// Logger receives structured task logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Worker executes measurement tasks against a shared cache bundle — the
+// criticd -worker mode core. Construct with NewWorker, serve Handler, stop
+// with Drain.
+type Worker struct {
+	cfg WorkerConfig
+	log *slog.Logger
+
+	slots    chan struct{} // admission semaphore, Capacity wide
+	inflight sync.WaitGroup
+	draining atomic.Bool
+
+	tasksDone *telemetry.Counter
+	tasksErr  *telemetry.Counter
+	busy      *telemetry.Gauge
+}
+
+// NewWorker builds a worker.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Caches == nil {
+		cfg.Caches = exp.NewCaches()
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = runtime.GOMAXPROCS(0)
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 4}))
+	}
+	w := &Worker{cfg: cfg, log: log, slots: make(chan struct{}, cfg.Capacity)}
+	if reg := cfg.Registry; reg != nil {
+		w.tasksDone = reg.Counter("critics_dist_worker_tasks_executed_total",
+			"Tasks executed successfully by this worker.")
+		w.tasksErr = reg.Counter("critics_dist_worker_task_errors_total",
+			"Tasks that failed on this worker (panic, cancellation, bad request).")
+		w.busy = reg.Gauge("critics_dist_worker_busy_slots",
+			"Task slots currently executing.")
+	}
+	return w
+}
+
+// Capacity returns the worker's concurrent-task bound.
+func (w *Worker) Capacity() int { return w.cfg.Capacity }
+
+// Saturated reports whether every task slot is busy — the /readyz
+// queue-not-saturated condition.
+func (w *Worker) Saturated() bool { return len(w.slots) >= cap(w.slots) }
+
+// Drain refuses new tasks (POST /dist/v1/task answers 503, /readyz flips to
+// 503 so heartbeats stop routing here) and waits for in-flight ones. Safe to
+// call more than once.
+func (w *Worker) Drain() {
+	w.draining.Store(true)
+	w.inflight.Wait()
+}
+
+// Handler returns the worker's HTTP API: the task endpoint plus the liveness
+// and readiness probes the coordinator's heartbeats use.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+TaskPath, w.handleTask)
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(rw http.ResponseWriter, _ *http.Request) {
+		switch {
+		case w.draining.Load():
+			writeJSON(rw, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		case w.Saturated():
+			writeJSON(rw, http.StatusServiceUnavailable, errorBody{Error: "all task slots busy"})
+		default:
+			writeJSON(rw, http.StatusOK, map[string]string{"status": "ready"})
+		}
+	})
+	return mux
+}
+
+// maxTaskBody bounds task request bodies; requests are small configuration
+// structs.
+const maxTaskBody = 1 << 20
+
+func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
+	if w.draining.Load() {
+		writeJSON(rw, http.StatusServiceUnavailable, errorBody{Error: "worker draining"})
+		return
+	}
+	var task Task
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxTaskBody))
+	if err == nil {
+		err = json.Unmarshal(body, &task)
+	}
+	if err != nil {
+		writeJSON(rw, http.StatusBadRequest, errorBody{Error: "malformed task: " + err.Error()})
+		return
+	}
+
+	// Admission: wait for a slot or for the dispatcher to give up.
+	select {
+	case w.slots <- struct{}{}:
+	case <-r.Context().Done():
+		return
+	}
+	w.inflight.Add(1)
+	if w.busy != nil {
+		w.busy.Add(1)
+	}
+	defer func() {
+		if w.busy != nil {
+			w.busy.Add(-1)
+		}
+		w.inflight.Done()
+		<-w.slots
+	}()
+
+	start := time.Now()
+	m, err := w.execute(r.Context(), task)
+	if err != nil {
+		if w.tasksErr != nil {
+			w.tasksErr.Inc()
+		}
+		code := http.StatusInternalServerError
+		if r.Context().Err() == nil && err == errBadTask {
+			// The task itself is unrunnable — retrying it on another worker
+			// would fail identically, so answer with a permanent status.
+			code = http.StatusUnprocessableEntity
+		}
+		w.log.Warn("task failed", "task", task.ID, "app", task.Req.App.Name, "kind", task.Req.Kind, "err", err)
+		writeJSON(rw, code, errorBody{Error: err.Error()})
+		return
+	}
+	if w.tasksDone != nil {
+		w.tasksDone.Inc()
+	}
+	w.log.Info("task done", "task", task.ID, "app", task.Req.App.Name, "kind", task.Req.Kind,
+		"seconds", time.Since(start).Seconds())
+	writeJSON(rw, http.StatusOK, resultOf(m))
+}
+
+// errBadTask marks a task the pipeline rejected (e.g. an unknown variant
+// kind) — permanent, not worker-specific.
+var errBadTask = fmt.Errorf("task rejected by the pipeline")
+
+// execute runs one task with panic isolation: a panicking build fails the
+// task, not the worker.
+func (w *Worker) execute(ctx context.Context, task Task) (m *exp.Measurement, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			m, err = nil, fmt.Errorf("%w: %v", errBadTask, p)
+		}
+	}()
+	return exp.ExecuteMeasure(ctx, task.Req, w.cfg.Caches, w.cfg.Workers)
+}
+
+// Register announces a worker to the coordinator at coordURL, advertising
+// advertiseURL as its task endpoint base, retrying (500ms cadence) until the
+// registration succeeds or ctx is done. client == nil uses a default.
+func Register(ctx context.Context, client *http.Client, coordURL, advertiseURL string, capacity int) error {
+	return postRegistration(ctx, client, coordURL+RegisterPath, advertiseURL, capacity, true)
+}
+
+// Deregister removes the worker from the coordinator's fleet — the polite
+// half of a graceful drain (heartbeats would notice eventually anyway).
+// One-shot: a dead coordinator makes this a no-op error.
+func Deregister(ctx context.Context, client *http.Client, coordURL, advertiseURL string) error {
+	return postRegistration(ctx, client, coordURL+DeregisterPath, advertiseURL, 0, false)
+}
+
+func postRegistration(ctx context.Context, client *http.Client, url, advertiseURL string, capacity int, retry bool) error {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	body, err := json.Marshal(registerRequest{URL: advertiseURL, Capacity: capacity})
+	if err != nil {
+		return err
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode/100 == 2 {
+				return nil
+			}
+			err = fmt.Errorf("dist: %s answered %s", url, resp.Status)
+		}
+		if !retry {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("dist: registering with %s: %w (last error: %v)", url, ctx.Err(), err)
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -63,6 +63,13 @@ type Context struct {
 	// (SetRunContext).
 	runCtx context.Context
 
+	// mapper, when non-nil, replaces the local worker pool for shard maps
+	// (SetMapper); remote, when non-nil, executes measurement units
+	// elsewhere (SetRemote). Both hooks preserve results bit-for-bit — they
+	// only move where the work runs.
+	mapper sched.Mapper
+	remote Remote
+
 	// Observability hooks (telemetry.go); both nil by default, costing the
 	// engine nothing.
 	tel    *Telemetry
@@ -162,6 +169,20 @@ func (c *Context) validFn() func() bool {
 	}
 	return func() bool { return ctx.Err() == nil }
 }
+
+// SetMapper routes the context's shard maps (Context.forEach) through m
+// instead of a locally constructed sched.Pool. nil restores the local pool.
+// The mapper must uphold the sched determinism contract; under it, results
+// are identical for every mapper.
+func (c *Context) SetMapper(m sched.Mapper) { c.mapper = m }
+
+// SetRemote routes measurement units (the expensive profile→compile→simulate
+// leaf of every experiment) through r: MeasureVariant cache misses dispatch a
+// MeasureRequest instead of computing locally, and the returned measurement
+// is cached as if it had been built here. A dispatch error falls back to
+// local computation, so a degraded or empty fleet slows a run down but never
+// fails it. nil restores local execution.
+func (c *Context) SetRemote(r Remote) { c.remote = r }
 
 // QuickContext returns a reduced-scale context for tests and benchmarks.
 func QuickContext() *Context {
@@ -367,9 +388,105 @@ func (c *Context) MeasureVariant(a workload.App, kind string, cfg cpu.Config, co
 	key := sched.KeyOf("meas", a.Params, kind, kcfg, collect,
 		c.Seed, c.WarmupArch, c.WarmArch, c.MeasureArch, c.ProfilePlan)
 	return memoGet(c, c.caches.meas, "measure "+a.Params.Name+"/"+kind, key, func() *Measurement {
+		if c.remote != nil {
+			ctx := c.runCtx
+			if ctx == nil {
+				ctx = context.Background()
+			}
+			m, err := c.remote.MeasureRemote(ctx, MeasureRequest{
+				App: a.Params, Kind: kind, Config: kcfg, Collect: collect,
+				Seed: c.Seed, WarmupArch: c.WarmupArch, WarmArch: c.WarmArch,
+				MeasureArch: c.MeasureArch, ProfilePlan: c.ProfilePlan,
+			})
+			if err == nil {
+				return m
+			}
+			if c.Err() != nil {
+				// Cancelled mid-dispatch: return a discardable zero — the
+				// memo validity check drops it and the run fails on Err.
+				return nil
+			}
+			// The fleet could not serve the task (drained, all workers
+			// down, retries exhausted): compute locally so the run still
+			// completes. Remote implementations account the fallback.
+		}
 		p, _ := c.Variant(a, kind)
 		return c.Measure(p, cfg, collect)
 	}, measurementCost)
+}
+
+// MeasureRequest is the serializable description of one MeasureVariant call
+// — the remote unit of work for distributed execution (internal/dist). It
+// carries every input the measurement's memo key covers (generator
+// parameters, compiler kind, machine configuration with telemetry stripped,
+// and the window/profiling scale), so a worker executing it computes exactly
+// the artifact the dispatching context would have built locally; every field
+// is integer- or bool-valued plain data, so the JSON round-trip is exact and
+// distribution preserves bit-identical results.
+type MeasureRequest struct {
+	App     workload.Params `json:"app"`
+	Kind    string          `json:"kind"`
+	Config  cpu.Config      `json:"config"`
+	Collect bool            `json:"collect,omitempty"`
+
+	Seed        int64            `json:"seed"`
+	WarmupArch  int              `json:"warmup_arch"`
+	WarmArch    int              `json:"warm_arch"`
+	MeasureArch int              `json:"measure_arch"`
+	ProfilePlan trace.SamplePlan `json:"profile_plan"`
+}
+
+// Remote executes measurement units somewhere other than this process.
+// internal/dist's Coordinator is the fleet-backed implementation.
+type Remote interface {
+	// MeasureRemote executes req and returns its measurement. The result
+	// must be bit-identical to a local execution of the same request; an
+	// error makes the caller fall back to computing locally.
+	MeasureRemote(ctx context.Context, req MeasureRequest) (*Measurement, error)
+}
+
+// ExecuteMeasure runs one measurement request against the given cache bundle
+// — the worker side of distributed execution. workers bounds the request's
+// internal shard pool (per-window profile extraction); 0 selects GOMAXPROCS.
+// caches == nil builds against a private throwaway bundle. A ctx cancelled
+// mid-build aborts the request, and (per the memo validity contract) the
+// partial artifacts are not retained.
+func ExecuteMeasure(ctx context.Context, req MeasureRequest, caches *Caches, workers int) (m *Measurement, err error) {
+	if caches == nil {
+		caches = NewCaches()
+	}
+	c := &Context{
+		Seed:        req.Seed,
+		WarmupArch:  req.WarmupArch,
+		WarmArch:    req.WarmArch,
+		MeasureArch: req.MeasureArch,
+		ProfilePlan: req.ProfilePlan,
+		Workers:     workers,
+		caches:      caches,
+	}
+	if ctx != nil {
+		c.SetRunContext(ctx)
+		defer func() {
+			// A shard skipped by cancellation can surface as a panic when a
+			// later stage consumes the discarded artifact; report it as the
+			// context error (same contract as exp.RunContext).
+			if p := recover(); p != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					m, err = nil, cerr
+					return
+				}
+				panic(p)
+			}
+		}()
+	}
+	m = c.MeasureVariant(workload.App{Params: req.App}, req.Kind, req.Config, req.Collect)
+	if cerr := c.Err(); cerr != nil {
+		return nil, cerr
+	}
+	if m == nil {
+		return nil, fmt.Errorf("exp: measurement %s/%s produced no result", req.App.Name, req.Kind)
+	}
+	return m, nil
 }
 
 // measurementCost approximates a measurement's retained bytes (its slices
@@ -423,11 +540,28 @@ func Suites() map[string][]workload.App {
 // SuiteOrder is the presentation order of suites.
 var SuiteOrder = []string{"spec.int", "spec.float", "android"}
 
-// forEach runs f over indices 0..n-1 on the context's worker pool and
-// waits. Results must be written to preallocated, index-addressed storage;
-// order-sensitive reductions happen after it returns (the sched package's
-// determinism contract).
+// forEach runs f over indices 0..n-1 on the context's mapper — the attached
+// sched.Mapper when one is set (distributed execution), a locally
+// constructed worker pool otherwise — and waits. Results must be written to
+// preallocated, index-addressed storage; order-sensitive reductions happen
+// after it returns (the sched package's determinism contract).
 func (c *Context) forEach(n int, f func(i int)) {
+	if m := c.mapper; m != nil {
+		g := f
+		if ctx := c.runCtx; ctx != nil {
+			// Match the pool's cancellation semantics: stop running queued
+			// shards once the context is done (partial results are
+			// discarded by the caller).
+			g = func(i int) {
+				if ctx.Err() != nil {
+					return
+				}
+				f(i)
+			}
+		}
+		m.Map(n, g)
+		return
+	}
 	p := sched.NewPool(c.workers()).Named("exp")
 	if c.tel != nil {
 		p.Instrument(c.tel.Pool)

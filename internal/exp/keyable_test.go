@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"testing"
+
+	"critics/internal/cpu"
+	"critics/internal/sched"
+	"critics/internal/telemetry"
+)
+
+// variantKinds are every compiler variant the experiments key caches by.
+var variantKinds = []string{
+	VarBase, VarHoist, VarCritIC, VarCritICIdeal, VarCritICBranch,
+	VarOPP16, VarCompress, VarOPP16CritIC,
+}
+
+// TestKeyedTypesAreKeyable walks every struct type this package passes to
+// sched.KeyOf — workload parameters for the whole catalog, the telemetry-
+// stripped machine configuration, the profiling plan, and each variant kind
+// — through sched.AssertKeyable. KeyOf hashes the %#v rendering, so a field
+// that reflection rejects (slice, map, non-nil pointer) would silently
+// produce address-dependent, nondeterministic cache keys; this test turns
+// that into a build-time-adjacent failure when someone grows one of these
+// structs.
+func TestKeyedTypesAreKeyable(t *testing.T) {
+	c := NewContext()
+
+	for _, suite := range SuiteOrder {
+		for _, a := range Suites()[suite] {
+			if err := sched.AssertKeyable(a.Params); err != nil {
+				t.Errorf("workload.Params for %s: %v", a.Params.Name, err)
+			}
+		}
+	}
+
+	kcfg := cpu.DefaultConfig()
+	kcfg.Metrics = nil // stripped before keying, exactly as MeasureVariant does
+	if err := sched.AssertKeyable(kcfg); err != nil {
+		t.Errorf("cpu.Config (telemetry stripped): %v", err)
+	}
+	if err := sched.AssertKeyable(c.ProfilePlan); err != nil {
+		t.Errorf("trace.SamplePlan: %v", err)
+	}
+	for _, kind := range variantKinds {
+		if err := sched.AssertKeyable(kind); err != nil {
+			t.Errorf("variant kind %q: %v", kind, err)
+		}
+	}
+	for _, part := range []any{c.Seed, c.WarmupArch, c.WarmArch, c.MeasureArch, true} {
+		if err := sched.AssertKeyable(part); err != nil {
+			t.Errorf("scalar key part %#v: %v", part, err)
+		}
+	}
+
+	// The raw DefaultConfig with a telemetry sink attached must be rejected
+	// — keying it would make cache identity depend on a pointer address.
+	live := cpu.DefaultConfig()
+	live.Metrics = cpu.NewMetrics(telemetry.NewRegistry())
+	if err := sched.AssertKeyable(live); err == nil {
+		t.Error("cpu.Config with live Metrics passed AssertKeyable; MeasureVariant's strip would be pointless")
+	}
+}
+
+// TestKeyChecksUnderRealRun turns the debug assertion on and drives every
+// KeyOf call site in this package (program, profile, variant, measurement)
+// through a real reduced-scale experiment. A contract violation panics
+// inside KeyOf, failing the run.
+func TestKeyChecksUnderRealRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment; skipped in -short")
+	}
+	sched.EnableKeyChecks(true)
+	defer sched.EnableKeyChecks(false)
+	if _, err := Run("fig8", determinismCtx(2)); err != nil {
+		t.Fatalf("fig8 under key checks: %v", err)
+	}
+}

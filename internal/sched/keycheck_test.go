@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+type keyableStruct struct {
+	A int
+	B string
+	C [2]float64
+	D struct{ E bool }
+	p *int // nil in the keyable cases
+}
+
+func TestAssertKeyable(t *testing.T) {
+	x := 7
+	cases := []struct {
+		name string
+		v    any
+		bad  string // "" = keyable; otherwise a substring of the error
+	}{
+		{"int", 42, ""},
+		{"string", "prog", ""},
+		{"float", 3.5, ""},
+		{"bool", true, ""},
+		{"array", [3]int{1, 2, 3}, ""},
+		{"plain struct", keyableStruct{A: 1, B: "x"}, ""},
+		{"nil pointer field", keyableStruct{}, ""},
+		{"untyped nil", nil, "untyped nil"},
+		{"slice", []int{1}, "not keyable"},
+		{"map", map[string]int{}, "not keyable"},
+		{"chan", make(chan int), "not keyable"},
+		{"func", func() {}, "not keyable"},
+		{"non-nil pointer", &x, "non-nil pointer"},
+		{"struct with live pointer", keyableStruct{p: &x}, "keyableStruct.p"},
+		{"struct with slice field", struct{ S []int }{S: []int{1}}, ".S"},
+		{"nested array of structs", [1]struct{ M map[int]int }{{M: map[int]int{}}}, ".M"},
+	}
+	for _, c := range cases {
+		err := AssertKeyable(c.v)
+		if c.bad == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: expected error, got nil", c.name)
+		} else if !strings.Contains(err.Error(), c.bad) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.bad)
+		}
+	}
+}
+
+// TestKeyOfChecked locks the debug gate: with checks enabled KeyOf panics on
+// a contract violation and still hashes plain parts; with checks disabled
+// the same violating call is silently accepted (the production fast path).
+func TestKeyOfChecked(t *testing.T) {
+	EnableKeyChecks(true)
+	defer EnableKeyChecks(false)
+
+	a := KeyOf("prog", keyableStruct{A: 1})
+	b := KeyOf("prog", keyableStruct{A: 2})
+	if a == b {
+		t.Fatal("distinct parts hashed to the same key")
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("KeyOf with a slice part did not panic under EnableKeyChecks")
+			}
+		}()
+		KeyOf("bad", []int{1, 2})
+	}()
+
+	EnableKeyChecks(false)
+	KeyOf("bad", []int{1, 2}) // must not panic when checks are off
+}

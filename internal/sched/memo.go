@@ -15,8 +15,13 @@ type Key [sha256.Size]byte
 // KeyOf fingerprints its arguments into a Key. Each part is rendered with
 // %#v — a canonical, type-tagged form for the plain structs (no pointers,
 // maps or slices) the experiment layer keys on — and hashed, so two keys
-// collide only when every configuration input is identical.
+// collide only when every configuration input is identical. The plainness
+// requirement is enforced by a reflection walk while EnableKeyChecks is on
+// (keycheck.go); tests run with it enabled.
 func KeyOf(parts ...any) Key {
+	if debugKeyChecks.Load() {
+		checkKeyParts(parts)
+	}
 	h := sha256.New()
 	for _, p := range parts {
 		fmt.Fprintf(h, "%#v\x00", p)

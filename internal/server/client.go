@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"critics/internal/dist"
 )
 
 // Client talks to a criticd instance. The zero value is not usable;
@@ -131,6 +133,16 @@ func (c *Client) Experiments(ctx context.Context) ([]string, error) {
 		return nil, err
 	}
 	return resp.Experiments, nil
+}
+
+// DistWorkers fetches the coordinator's fleet status. A daemon running
+// without distribution enabled answers 404.
+func (c *Client) DistWorkers(ctx context.Context) ([]dist.WorkerStatus, error) {
+	var resp dist.WorkersResponse
+	if err := c.do(ctx, http.MethodGet, dist.WorkersPath, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Workers, nil
 }
 
 // Wait polling parameters: exponential backoff from waitBaseDelay doubling

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"critics/internal/dist"
+	"critics/internal/telemetry"
+)
+
+// TestReadyzQueueSaturation: /readyz must flip to 503 while the admission
+// queue is full — the signal load balancers use to stop routing before
+// submissions start bouncing off 429s — and recover once the queue drains.
+func TestReadyzQueueSaturation(t *testing.T) {
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	cfg := stubConfig(func(ctx context.Context, _ SubmitRequest) ([]byte, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return json.Marshal(Result{Text: "done"})
+	})
+	cfg.QueueSize = 1
+	cfg.Workers = 1
+	s, c := start(t, cfg)
+	defer close(release)
+	ctx := context.Background()
+
+	readyz := func() int {
+		t.Helper()
+		resp, err := http.Get(c.base + "/readyz")
+		if err != nil {
+			t.Fatalf("GET /readyz: %v", err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := readyz(); got != http.StatusOK {
+		t.Fatalf("/readyz idle = %d, want 200", got)
+	}
+
+	// One job executing (off the queue), one sitting in the queue: saturated.
+	if _, err := c.Submit(ctx, SubmitRequest{App: "acrobat", Quick: true}); err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	<-started
+	st2, err := c.Submit(ctx, SubmitRequest{App: "email", Quick: true})
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	if got := readyz(); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with saturated queue = %d, want 503", got)
+	}
+
+	// Draining the queue restores readiness.
+	release <- struct{}{}
+	release <- struct{}{}
+	if _, err := c.Wait(ctx, st2.ID, 10*time.Second); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if got := readyz(); got != http.StatusOK {
+		t.Fatalf("/readyz after drain = %d, want 200", got)
+	}
+	_ = s
+}
+
+// TestDistributedJob wires a coordinator with one real worker into the
+// daemon and runs an optimize job through it: the job must succeed, its
+// measurement units must have gone over the wire, and the fleet endpoints
+// must be reachable through the daemon's mux.
+func TestDistributedJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real pipeline")
+	}
+	wk := dist.NewWorker(dist.WorkerConfig{Workers: 2})
+	wsrv := httptest.NewServer(wk.Handler())
+	defer wsrv.Close()
+
+	reg := telemetry.NewRegistry()
+	coord := dist.NewCoordinator(dist.Config{Registry: reg, RetryBackoff: 5 * time.Millisecond})
+	defer coord.Close()
+	coord.AddWorkerCapacity(wsrv.URL, 2)
+
+	_, c := start(t, Config{QueueSize: 4, Workers: 1, JobWorkers: 2, Registry: reg, Coordinator: coord})
+	ctx := context.Background()
+
+	ws, err := c.DistWorkers(ctx)
+	if err != nil {
+		t.Fatalf("DistWorkers: %v", err)
+	}
+	if len(ws) != 1 || !ws[0].Healthy {
+		t.Fatalf("fleet = %+v, want one healthy worker", ws)
+	}
+
+	st, err := c.Submit(ctx, SubmitRequest{App: "acrobat", Quick: true, Workers: 2})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st, err = c.Wait(ctx, st.ID, 2*time.Minute)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if st.State != StateSucceeded {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+
+	dispatched := reg.Counter("critics_dist_tasks_dispatched_total", "").Value()
+	if dispatched == 0 {
+		t.Error("no tasks dispatched; the job ran purely locally despite a healthy fleet")
+	}
+}
+
+// TestDistWorkersWithoutCoordinator: a daemon without distribution answers
+// 404 on the fleet endpoints.
+func TestDistWorkersWithoutCoordinator(t *testing.T) {
+	_, c := start(t, stubConfig(echoStub))
+	if _, err := c.DistWorkers(context.Background()); err == nil {
+		t.Fatal("DistWorkers succeeded against a coordinator-less daemon, want 404")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"critics"
+	"critics/internal/dist"
 	"critics/internal/exp"
 	"critics/internal/telemetry"
 )
@@ -46,6 +47,13 @@ type Config struct {
 
 	// Logger receives structured request/job logs; nil discards them.
 	Logger *slog.Logger
+
+	// Coordinator, when set, distributes jobs' measurement units across its
+	// worker fleet (internal/dist) and mounts the fleet-management endpoints
+	// under /dist/v1/. Jobs fall back to pure local execution while the fleet
+	// has no healthy workers. The caller owns the coordinator's lifecycle
+	// (Drain/Close around Shutdown).
+	Coordinator *dist.Coordinator
 
 	// execute overrides job execution — a test seam. nil selects the real
 	// critics pipeline.
@@ -249,6 +257,9 @@ func (s *Server) executePipeline(ctx context.Context, req SubmitRequest) ([]byte
 		critics.WithSharedCaches(s.caches),
 		critics.WithTelemetry(s.reg),
 	)
+	if coord := s.cfg.Coordinator; coord != nil && coord.HealthyWorkers() > 0 {
+		opts = append(opts, critics.WithRemoteExecution(coord, coord))
+	}
 
 	res := Result{Kind: req.Kind, App: req.App, Experiment: req.Experiment}
 	switch req.Kind {
@@ -306,13 +317,24 @@ func (s *Server) routes() *http.ServeMux {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	handle("GET", "/readyz", func(w http.ResponseWriter, _ *http.Request) {
-		if s.draining.Load() {
+		switch {
+		case s.draining.Load():
 			writeErr(w, http.StatusServiceUnavailable, "draining", true)
-			return
+		case len(s.queue) >= cap(s.queue):
+			// Saturated admission queue: the next submit would be refused
+			// with 429, so load balancers should stop routing here until the
+			// workers catch up. Liveness (/healthz) is unaffected.
+			w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("job queue saturated (%d queued)", cap(s.queue)), true)
+		default:
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	mux.Handle("GET /metrics", s.reg)
+	if s.cfg.Coordinator != nil {
+		mux.Handle("/dist/v1/", s.cfg.Coordinator.Handler())
+	}
 	return mux
 }
 

@@ -94,6 +94,26 @@ func buildFixedRegistry() *Registry {
 	}
 	reg.Counter("critics_server_http_requests_total", "HTTP requests by route and status code.",
 		L("endpoint", "/v1/jobs"), L("code", "202")).Add(12)
+	// The distributed-execution families (internal/dist pins the same names;
+	// this locks their exposition shape).
+	reg.Counter("critics_dist_tasks_dispatched_total", "Task attempts dispatched to workers.").Add(40)
+	reg.Counter("critics_dist_tasks_retried_total",
+		"Task attempts beyond the first (failure retries onto another worker).").Add(3)
+	reg.Counter("critics_dist_tasks_hedged_total", "Speculative re-dispatches of straggler tasks.").Add(2)
+	reg.Counter("critics_dist_hedge_wins_total", "Hedged dispatches that produced the winning result.").Add(1)
+	reg.Counter("critics_dist_tasks_failed_total",
+		"Tasks that exhausted every attempt (the caller falls back to local execution).").Add(1)
+	reg.Gauge("critics_dist_workers_healthy", "Workers currently passing heartbeat probes.").Set(2)
+	dh := reg.Histogram("critics_dist_task_seconds",
+		"Distributed task latency, dispatch to result (includes retries and hedges).",
+		ExpBuckets(0.001, 2, 18))
+	for _, v := range []float64{0.004, 0.03, 0.03, 1.7} {
+		dh.Observe(v)
+	}
+	reg.Gauge("critics_dist_worker_inflight", "Tasks currently in flight per worker.",
+		L("worker", "http://w1:9721")).Set(2)
+	reg.Counter("critics_dist_worker_tasks_total", "Tasks completed successfully per worker.",
+		L("worker", "http://w1:9721")).Add(21)
 	return reg
 }
 

@@ -25,6 +25,8 @@
 package cpu
 
 import (
+	"sync"
+
 	"critics/internal/bpu"
 	"critics/internal/cache"
 	"critics/internal/isa"
@@ -214,6 +216,22 @@ type Sim struct {
 	// instead of restarting it (otherwise warm lines would look like
 	// in-flight fills).
 	clock int64
+
+	// onCommit, when set, observes every retired instruction (see OnCommit).
+	onCommit func(d *trace.Dyn, fanout int32, r *Record)
+}
+
+// OnCommit registers an observer called exactly once per instruction as it
+// retires: at ROB commit, or at decode for CDP mode switches (which never
+// enter the ROB). fanout is the instruction's stream fanout (0 when the run
+// has no fanout data), r its finalized stage record. The observer lets
+// callers fold per-instruction aggregates during a streaming run instead of
+// retaining O(n) records; d and r are only valid during the call. It is a
+// Sim-level hook rather than a Config field because Config is hashed for
+// memo keys and serialized for distributed execution — a func does not
+// belong there. Pass nil to detach.
+func (s *Sim) OnCommit(fn func(d *trace.Dyn, fanout int32, r *Record)) {
+	s.onCommit = fn
 }
 
 // critEntry is one criticality-table entry.
@@ -282,22 +300,98 @@ func (s *Sim) trainCritical(d *trace.Dyn, fanout int32, now int64) {
 
 const noIdx = -1
 
-// Run simulates one dynamic window. fanouts may be nil; when provided
-// (aligned with dyns, from dfg.Fanouts) it trains the criticality table and
-// drives the BackendPrio/CriticalLoadPrefetch hooks.
+// blankRecord is the initial value of every record slot: no stage reached.
+var blankRecord = Record{Eligible: -1, Fetched: -1, DecodeDone: -1, Dispatched: -1, Issued: -1, Done: -1, Committed: -1}
+
+// Stream is a chunked pull iterator over (dynamic instruction, fanout)
+// pairs — the streaming input of RunStream. Next returns the next contiguous
+// chunk of the stream with fanouts aligned to it, or (nil, nil) at end of
+// stream. The fanout slice may be nil throughout (no criticality training,
+// matching a nil fanouts argument to Run); when non-nil it must stay non-nil
+// and aligned for every chunk. Returned slices are only valid until the next
+// call — RunStream copies what it still needs.
+//
+// dfg.FanoutStream implements Stream over a trace.Source; Run adapts plain
+// slices.
+type Stream interface {
+	Next() ([]trace.Dyn, []int32)
+}
+
+// sliceStream adapts materialized (dyns, fanouts) slices to the Stream
+// interface, yielding DefaultChunk-sized sub-slices.
+type sliceStream struct {
+	dyns []trace.Dyn
+	fan  []int32
+	off  int
+}
+
+func (ss *sliceStream) Next() ([]trace.Dyn, []int32) {
+	if ss.off >= len(ss.dyns) {
+		return nil, nil
+	}
+	end := ss.off + trace.DefaultChunk
+	if end > len(ss.dyns) {
+		end = len(ss.dyns)
+	}
+	d := ss.dyns[ss.off:end]
+	var f []int32
+	if ss.fan != nil {
+		f = ss.fan[ss.off:end]
+	}
+	ss.off = end
+	return d, f
+}
+
+// runBuffers is the reusable buffer set one RunStream call draws from: the
+// sliding instruction/fanout/record window plus the pipeline queues. Pooled
+// so that back-to-back measurements (and concurrent shard workers, each
+// popping its own set) run the no-records path without per-run allocations.
+type runBuffers struct {
+	dyn []trace.Dyn
+	fan []int32
+	rec []Record
+
+	fetchQ  []int32
+	renameQ []int32
+	robQ    []int32
+	iq      []int32
+}
+
+var runBufs = sync.Pool{New: func() any { return &runBuffers{} }}
+
+// Run simulates one materialized dynamic window. fanouts may be nil; when
+// provided (aligned with dyns, from dfg.Fanouts) it trains the criticality
+// table and drives the BackendPrio/CriticalLoadPrefetch hooks.
+//
+// Run is a thin adapter: the window is fed through RunStream chunk by chunk,
+// so the slice and streaming paths share one simulation loop and cannot
+// drift apart.
 func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
-	n := len(dyns)
+	return s.RunStream(&sliceStream{dyns: dyns, fan: fanouts})
+}
+
+// RunStream simulates one dynamic window pulled from st chunk by chunk.
+//
+// Memory is O(chunk + pipeline depth), independent of window length: the
+// simulator keeps a sliding window of instructions, fanouts and stage
+// records covering only what the pipeline can still touch, and compacts the
+// committed prefix away as new chunks are admitted. An instruction that has
+// slid out of the window can only be referenced again as a producer, and an
+// evicted producer has committed — its result is architecturally available —
+// so dependence checks treat it as done. Admission happens when fetch
+// catches up with the admitted stream, never stalling the modeled front end,
+// which keeps cycle-level behavior bit-identical to simulating the
+// materialized window. When CollectRecords is set, finalized records are
+// additionally copied out to the O(n) Result.Records slice as instructions
+// retire.
+func (s *Sim) RunStream(st Stream) Result {
 	res := Result{Hier: s.hier, BPU: s.bpu}
-	if n == 0 {
-		return res
-	}
-	rec := make([]Record, n)
-	for i := range rec {
-		rec[i] = Record{Eligible: -1, Fetched: -1, DecodeDone: -1, Dispatched: -1, Issued: -1, Done: -1, Committed: -1}
-	}
+	collect := s.cfg.CollectRecords
 	ia0, im0 := s.hier.L1I.Accesses, s.hier.L1I.Misses
 	da0, dm0 := s.hier.L1D.Accesses, s.hier.L1D.Misses
 	l20, dr0 := s.hier.L2.Accesses, s.hier.DRAM.Accesses
+
+	bufs := runBufs.Get().(*runBuffers)
 
 	type fifo struct {
 		buf  []int32
@@ -321,11 +415,11 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 		fetchBlockedUntil int64
 		redirectBranch    = noIdx
 
-		fetchBuf fifo
-		renameQ  fifo
+		fetchBuf = fifo{buf: bufs.fetchQ[:0]}
+		renameQ  = fifo{buf: bufs.renameQ[:0]}
 
-		rob     fifo
-		iq      []int32
+		rob     = fifo{buf: bufs.robQ[:0]}
+		iq      = bufs.iq[:0]
 		lsqUsed int
 
 		committed int64
@@ -333,16 +427,127 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 
 		decodeBlockedUntil int64
 	)
+
+	// Sliding window: dyn/fan/rec cover absolute indices [winBase, hi).
+	// hi counts every instruction admitted from the stream so far.
+	var (
+		dyn     = bufs.dyn[:0]
+		fan     = bufs.fan[:0]
+		rec     = bufs.rec[:0]
+		winBase int
+		hi      int
+
+		exhausted bool
+		hasFan    bool
+		seqBase   int64
+		recOut    []Record // CollectRecords output, indexed absolutely
+	)
+	defer func() {
+		bufs.dyn, bufs.fan, bufs.rec = dyn[:0], fan[:0], rec[:0]
+		bufs.fetchQ, bufs.renameQ, bufs.robQ = fetchBuf.buf[:0], renameQ.buf[:0], rob.buf[:0]
+		bufs.iq = iq[:0]
+		runBufs.Put(bufs)
+	}()
+
+	dynAt := func(i int) *trace.Dyn { return &dyn[i-winBase] }
+	recAt := func(i int) *Record { return &rec[i-winBase] }
+
+	// oldestInFlight is the lowest absolute index the pipeline can still
+	// touch through a queue: queues hold disjoint index ranges with rob the
+	// oldest, and anything below all three has committed (CDP mode switches
+	// commit at decode, straight out of the fetch buffer).
+	oldestInFlight := func() int {
+		switch {
+		case size(&rob) > 0:
+			return int(front(&rob))
+		case size(&renameQ) > 0:
+			return int(front(&renameQ))
+		case size(&fetchBuf) > 0:
+			return int(front(&fetchBuf))
+		}
+		return fetchIdx
+	}
+
+	// admit pulls the next chunk into the sliding window, compacting the
+	// committed prefix away first when it dominates the window. Returns
+	// false once the stream is exhausted.
+	admit := func() bool {
+		if exhausted {
+			return false
+		}
+		c, f := st.Next()
+		if len(c) == 0 {
+			exhausted = true
+			return false
+		}
+		if hi == 0 {
+			hasFan = f != nil
+			seqBase = c[0].Seq
+		}
+		if k := oldestInFlight() - winBase; k > 0 && k*2 >= len(dyn) {
+			dyn = append(dyn[:0], dyn[k:]...)
+			rec = append(rec[:0], rec[k:]...)
+			if hasFan {
+				fan = append(fan[:0], fan[k:]...)
+			}
+			winBase += k
+		}
+		dyn = append(dyn, c...)
+		if hasFan {
+			fan = append(fan, f...)
+		}
+		for range c {
+			rec = append(rec, blankRecord)
+		}
+		if collect {
+			recOut = append(recOut, make([]Record, len(c))...)
+		}
+		hi += len(c)
+		return true
+	}
+
+	if !admit() {
+		return res // empty stream, matching Run on an empty window
+	}
 	rec[0].Eligible = 0
-	base := dyns[0].Seq
+
+	// Per-run metric aggregates, accumulated as instructions retire so the
+	// registry flush at the end does not need the full record slice.
+	metrics := s.cfg.Metrics
+	var runBkd Breakdown
+	var cdpCount int64
+	// retire finalizes one instruction (ROB commit, or decode for CDP mode
+	// switches): metric accumulation, the OnCommit observer, and the
+	// collect-mode copy-out.
+	retire := func(idx int, d *trace.Dyn, r *Record) {
+		if metrics != nil {
+			runBkd.Add(BreakdownOf(r))
+			if d.IsCDP {
+				cdpCount++
+			}
+		}
+		if s.onCommit != nil {
+			var fv int32
+			if hasFan {
+				fv = fan[idx-winBase]
+			}
+			s.onCommit(d, fv, r)
+		}
+		if collect {
+			recOut[idx] = *r
+		}
+	}
 
 	prodsDone := func(d *trace.Dyn) bool {
 		for k := uint8(0); k < d.NProd; k++ {
-			p := d.Prod[k] - base
+			p := int(d.Prod[k] - seqBase)
 			if p < 0 {
 				continue
 			}
-			pd := rec[p].Done
+			if p < winBase {
+				continue // slid out of the window => committed; result long available
+			}
+			pd := rec[p-winBase].Done
 			if pd < 0 || pd > now {
 				return false
 			}
@@ -350,12 +555,12 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 		return true
 	}
 
-	for committed < int64(n) {
+	for !exhausted || committed < int64(hi) {
 		// ---- Commit ----
 		for w := 0; w < s.cfg.CommitWidth && size(&rob) > 0; w++ {
-			idx := front(&rob)
-			d := &dyns[idx]
-			r := &rec[idx]
+			idx := int(front(&rob))
+			d := dynAt(idx)
+			r := recAt(idx)
 			if r.Done < 0 || r.Done > now {
 				break
 			}
@@ -368,14 +573,15 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 			if d.IsLoad || d.IsStore {
 				lsqUsed--
 			}
-			if fanouts != nil {
-				s.trainCritical(d, fanouts[idx], now)
+			if hasFan {
+				s.trainCritical(d, fan[idx-winBase], now)
 			}
+			retire(idx, d, r)
 		}
 
 		// ---- Redirect resolution ----
 		if redirectBranch != noIdx {
-			if dn := rec[redirectBranch].Done; dn >= 0 {
+			if dn := recAt(redirectBranch).Done; dn >= 0 {
 				until := dn + s.cfg.MispredictPenalty
 				if until > fetchBlockedUntil {
 					fetchBlockedUntil = until
@@ -398,7 +604,7 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 				if idx == noIdx {
 					continue
 				}
-				d := &dyns[idx]
+				d := dynAt(int(idx))
 				if s.cfg.BackendPrio {
 					crit := s.predCritical(d.Addr)
 					if pass == 0 && !crit {
@@ -408,7 +614,7 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 						continue
 					}
 				}
-				r := &rec[idx]
+				r := recAt(int(idx))
 				if r.Dispatched >= now {
 					continue
 				}
@@ -459,8 +665,8 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 		// ---- Rename / dispatch ----
 		for w := 0; w < s.cfg.RenameWidth && size(&renameQ) > 0; w++ {
 			idx := front(&renameQ)
-			d := &dyns[idx]
-			if rec[idx].DecodeDone >= now {
+			d := dynAt(int(idx))
+			if recAt(int(idx)).DecodeDone >= now {
 				break
 			}
 			if size(&rob) >= s.cfg.ROBSize || len(iq) >= s.cfg.IQSize {
@@ -470,7 +676,7 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 				break
 			}
 			pop(&renameQ)
-			rec[idx].Dispatched = now
+			recAt(int(idx)).Dispatched = now
 			push(&rob, idx)
 			iq = append(iq, idx)
 			if d.IsLoad || d.IsStore {
@@ -487,23 +693,25 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 		if now >= decodeBlockedUntil {
 			slots := s.cfg.DecodeWidth
 			for slots > 0 && size(&fetchBuf) > 0 && size(&renameQ) < renameQCap {
-				idx := front(&fetchBuf)
-				d := &dyns[idx]
-				if rec[idx].Fetched >= now {
+				idx := int(front(&fetchBuf))
+				d := dynAt(idx)
+				r := recAt(idx)
+				if r.Fetched >= now {
 					break
 				}
 				pop(&fetchBuf)
 				slots--
-				rec[idx].DecodeDone = now
+				r.DecodeDone = now
 				if d.IsCDP {
 					// The mode switch is consumed by the decoder; it
 					// never enters the ROB. Charge the conservative
 					// 1-cycle decoder bubble.
-					rec[idx].Dispatched = now
-					rec[idx].Issued = now
-					rec[idx].Done = now
-					rec[idx].Committed = now
+					r.Dispatched = now
+					r.Issued = now
+					r.Done = now
+					r.Committed = now
 					committed++
+					retire(idx, d, r)
 					if s.cfg.CDPExtraDecodeCycle {
 						// The mode switch flushes the rest of this
 						// decode group (a sub-cycle bubble); decoding
@@ -512,7 +720,7 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 					}
 					continue
 				}
-				push(&renameQ, idx)
+				push(&renameQ, int32(idx))
 			}
 		}
 
@@ -521,8 +729,22 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 			bytes := s.cfg.FetchBytes
 			slots := s.cfg.FetchWidth
 			var curLine int64 = -1
-			for slots > 0 && fetchIdx < n && size(&fetchBuf) < s.cfg.FetchBufSize {
-				d := &dyns[fetchIdx]
+			// markEligible stamps the next-to-fetch instruction, admitting
+			// its chunk if the window has not reached it yet (admission is
+			// a data pull only; it cannot affect timing).
+			markEligible := func() {
+				if fetchIdx == hi && !admit() {
+					return
+				}
+				if r := recAt(fetchIdx); r.Eligible < 0 {
+					r.Eligible = now
+				}
+			}
+			for slots > 0 && size(&fetchBuf) < s.cfg.FetchBufSize {
+				if fetchIdx == hi && !admit() {
+					break
+				}
+				d := dynAt(fetchIdx)
 				if int(d.Size) > bytes {
 					break
 				}
@@ -536,9 +758,8 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 					}
 					curLine = line
 				}
-				idx := int32(fetchIdx)
-				rec[fetchIdx].Fetched = now
-				push(&fetchBuf, idx)
+				recAt(fetchIdx).Fetched = now
+				push(&fetchBuf, int32(fetchIdx))
 				bytes -= int(d.Size)
 				slots--
 
@@ -563,7 +784,7 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 						res.Mispredicts++
 						redirectBranch = fetchIdx
 						redirected = true
-						rec[fetchIdx].Redirected = true
+						recAt(fetchIdx).Redirected = true
 					}
 				case d.Op == isa.OpBL:
 					// Calls push the return address; BTB predicts the
@@ -576,24 +797,20 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 						res.Mispredicts++
 						redirectBranch = fetchIdx
 						redirected = true
-						rec[fetchIdx].Redirected = true
+						recAt(fetchIdx).Redirected = true
 					}
 				}
 				endGroup := d.IsBranch && d.Taken
 
 				fetchIdx++
-				if fetchIdx < n && rec[fetchIdx].Eligible < 0 {
-					rec[fetchIdx].Eligible = now
-				}
+				markEligible()
 				if redirected || endGroup {
 					break
 				}
 			}
 			// An instruction stalled on bandwidth/buffer becomes eligible
 			// now if it was not already.
-			if fetchIdx < n && rec[fetchIdx].Eligible < 0 {
-				rec[fetchIdx].Eligible = now
-			}
+			markEligible()
 			if s.cfg.Metrics != nil {
 				s.cfg.Metrics.FetchBytesUsed.Observe(float64(s.cfg.FetchBytes - bytes))
 			}
@@ -604,7 +821,7 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 
 	s.clock += now
 	res.Cycles = now
-	res.AllDyns = int64(n)
+	res.AllDyns = int64(hi)
 	res.Instrs = instrs
 	res.ICacheAccesses = s.hier.L1I.Accesses - ia0
 	res.ICacheMisses = s.hier.L1I.Misses - im0
@@ -612,11 +829,11 @@ func (s *Sim) Run(dyns []trace.Dyn, fanouts []int32) Result {
 	res.DCacheMisses = s.hier.L1D.Misses - dm0
 	res.L2Accesses = s.hier.L2.Accesses - l20
 	res.DRAMAccesses = s.hier.DRAM.Accesses - dr0
-	if m := s.cfg.Metrics; m != nil {
-		m.flushRun(&res, dyns, rec)
+	if metrics != nil {
+		metrics.flushRun(&res, runBkd, cdpCount)
 	}
-	if s.cfg.CollectRecords {
-		res.Records = rec
+	if collect {
+		res.Records = recOut
 	}
 	return res
 }

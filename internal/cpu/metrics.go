@@ -2,7 +2,6 @@ package cpu
 
 import (
 	"critics/internal/telemetry"
-	"critics/internal/trace"
 )
 
 // stallStages are the label values of the per-stage stall counters, in
@@ -67,9 +66,11 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 	return m
 }
 
-// flushRun folds one window's aggregates into the registry. rec is the full
-// per-instruction record slice (always built by Run), dyns the window.
-func (m *Metrics) flushRun(res *Result, dyns []trace.Dyn, rec []Record) {
+// flushRun folds one window's aggregates into the registry. bkd and cdp are
+// accumulated incrementally by Run as instructions retire, so flushing does
+// not require the per-instruction record slice (which Run only keeps in a
+// small sliding window unless CollectRecords asks for all of it).
+func (m *Metrics) flushRun(res *Result, bkd Breakdown, cdp int64) {
 	m.Windows.Inc()
 	m.Cycles.Add(res.Cycles)
 	m.Instrs.Add(res.Instrs)
@@ -82,19 +83,11 @@ func (m *Metrics) flushRun(res *Result, dyns []trace.Dyn, rec []Record) {
 	m.L2Accesses.Add(res.L2Accesses)
 	m.DRAMAccesses.Add(res.DRAMAccesses)
 
-	var b Breakdown
-	var cdp int64
-	for i := range rec {
-		b.Add(BreakdownOf(&rec[i]))
-		if dyns[i].IsCDP {
-			cdp++
-		}
-	}
 	m.CDPSwitches.Add(cdp)
-	m.Stall[0].Add(b.FetchI)
-	m.Stall[1].Add(b.FetchRD)
-	m.Stall[2].Add(b.Decode)
-	m.Stall[3].Add(b.Rename)
-	m.Stall[4].Add(b.Execute)
-	m.Stall[5].Add(b.Commit)
+	m.Stall[0].Add(bkd.FetchI)
+	m.Stall[1].Add(bkd.FetchRD)
+	m.Stall[2].Add(bkd.Decode)
+	m.Stall[3].Add(bkd.Rename)
+	m.Stall[4].Add(bkd.Execute)
+	m.Stall[5].Add(bkd.Commit)
 }

@@ -280,27 +280,34 @@ func (g GapResult) FracNone() float64 {
 	return float64(g.None) / float64(total)
 }
 
+// AddChain folds one chain into the result. fanOf resolves a chain member
+// (absolute index) to its whole-window fanout; streamed extraction passes
+// the lookup StreamChains provides, the materialized path an indexed slice.
+func (g *GapResult) AddChain(c *Chain, fanOf func(int32) int32, threshold int32) {
+	lastHigh := -1
+	gap := 0
+	for _, m := range c.Members {
+		if fanOf(m) >= threshold {
+			if lastHigh >= 0 {
+				g.Gaps.Add(gap)
+			}
+			lastHigh = int(m)
+			gap = 0
+		} else if lastHigh >= 0 {
+			gap++
+		}
+	}
+	if lastHigh >= 0 {
+		g.None++
+	}
+}
+
 // HighFanoutGaps measures the dependence-chain structure of Fig. 1b over
 // extracted chains. fan must come from Fanouts over the same dyns slice.
 func HighFanoutGaps(chains []Chain, fan []int32, threshold int32, maxGap int) GapResult {
 	res := GapResult{Gaps: stats.NewHistogram(maxGap)}
-	for _, c := range chains {
-		lastHigh := -1
-		gap := 0
-		for _, m := range c.Members {
-			if fan[m] >= threshold {
-				if lastHigh >= 0 {
-					res.Gaps.Add(gap)
-				}
-				lastHigh = int(m)
-				gap = 0
-			} else if lastHigh >= 0 {
-				gap++
-			}
-		}
-		if lastHigh >= 0 {
-			res.None++
-		}
+	for i := range chains {
+		res.AddChain(&chains[i], func(m int32) int32 { return fan[m] }, threshold)
 	}
 	return res
 }
@@ -315,27 +322,62 @@ type LengthSpread struct {
 	MeanLen   float64
 }
 
+// LengthSpreadAcc accumulates chain length/spread samples incrementally, so
+// streamed extraction can fold chains in without retaining them. Add/Merge
+// order must match chain order where bit-identical summaries matter: the
+// mean is an ordered float sum.
+type LengthSpreadAcc struct {
+	Lens, Spreads []float64
+	MaxLen        int
+	MaxSpread     int
+}
+
+// Add folds one chain into the accumulator.
+func (a *LengthSpreadAcc) Add(c *Chain) {
+	l, s := c.Len(), c.Spread()
+	if l > a.MaxLen {
+		a.MaxLen = l
+	}
+	if s > a.MaxSpread {
+		a.MaxSpread = s
+	}
+	a.Lens = append(a.Lens, float64(l))
+	a.Spreads = append(a.Spreads, float64(s))
+}
+
+// Merge appends o's samples after a's.
+func (a *LengthSpreadAcc) Merge(o *LengthSpreadAcc) {
+	if o.MaxLen > a.MaxLen {
+		a.MaxLen = o.MaxLen
+	}
+	if o.MaxSpread > a.MaxSpread {
+		a.MaxSpread = o.MaxSpread
+	}
+	a.Lens = append(a.Lens, o.Lens...)
+	a.Spreads = append(a.Spreads, o.Spreads...)
+}
+
+// Summary computes the Fig. 5a summary over the accumulated chains.
+func (a *LengthSpreadAcc) Summary() LengthSpread {
+	return LengthSpread{
+		MaxLen:    a.MaxLen,
+		MaxSpread: a.MaxSpread,
+		P99Len:    stats.Percentile(a.Lens, 99),
+		P99Spread: stats.Percentile(a.Spreads, 99),
+		MeanLen:   stats.Mean(a.Lens),
+	}
+}
+
 // MeasureLengthSpread computes the Fig. 5a summary over chains.
 func MeasureLengthSpread(chains []Chain) LengthSpread {
-	var ls LengthSpread
-	lens := make([]float64, 0, len(chains))
-	spreads := make([]float64, 0, len(chains))
-	for i := range chains {
-		l := chains[i].Len()
-		s := chains[i].Spread()
-		if l > ls.MaxLen {
-			ls.MaxLen = l
-		}
-		if s > ls.MaxSpread {
-			ls.MaxSpread = s
-		}
-		lens = append(lens, float64(l))
-		spreads = append(spreads, float64(s))
+	acc := LengthSpreadAcc{
+		Lens:    make([]float64, 0, len(chains)),
+		Spreads: make([]float64, 0, len(chains)),
 	}
-	ls.P99Len = stats.Percentile(lens, 99)
-	ls.P99Spread = stats.Percentile(spreads, 99)
-	ls.MeanLen = stats.Mean(lens)
-	return ls
+	for i := range chains {
+		acc.Add(&chains[i])
+	}
+	return acc.Summary()
 }
 
 // CriticalFraction returns the fraction of dynamic instructions whose fanout

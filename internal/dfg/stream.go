@@ -1,0 +1,169 @@
+package dfg
+
+import (
+	"critics/internal/trace"
+)
+
+// FanoutStream computes per-instruction fanouts online over a trace.Source,
+// emitting (dyns, fanouts) chunk pairs that match what Fanouts would return
+// over the materialized stream — in O(chunk + window) memory instead of
+// O(stream).
+//
+// The stream is double-buffered: a chunk's fanouts are only final once every
+// instruction within the forward window has been seen, so each emitted chunk
+// had its successor loaded first and the successor's first `window`
+// instructions credited back. Because Sources are Seq-contiguous, "within
+// the forward window" is a Seq difference — no global index bookkeeping.
+//
+// Emitted slices are valid until the next call. Chunks shorter than the
+// window are assembled up from multiple source pulls, so any Source chunking
+// is acceptable.
+type FanoutStream struct {
+	src    trace.Source
+	window int
+	base   int64 // Seq of the stream's first instruction
+
+	cur, nxt   []trace.Dyn
+	fcur, fnxt []int32
+	started    bool
+}
+
+// NewFanoutStream returns a FanoutStream over src with the given forward
+// window (128, the ROB size, if <= 0).
+func NewFanoutStream(src trace.Source, window int) *FanoutStream {
+	s := &FanoutStream{}
+	s.Reset(src, window)
+	return s
+}
+
+// Reset rebinds the stream to a new source, reusing the internal buffers.
+func (s *FanoutStream) Reset(src trace.Source, window int) {
+	if window <= 0 {
+		window = 128
+	}
+	s.src = src
+	s.window = window
+	s.started = false
+	s.cur = s.cur[:0]
+	s.nxt = s.nxt[:0]
+}
+
+// assemble pulls source chunks into b (appending copies) until b covers at
+// least one fanout window or the source is exhausted.
+func (s *FanoutStream) assemble(b []trace.Dyn) []trace.Dyn {
+	for len(b) < s.window {
+		c := s.src.NextChunk()
+		if len(c) == 0 {
+			break
+		}
+		b = append(b, c...)
+	}
+	return b
+}
+
+// credit zero-extends fb to match b and adds every fanout contribution made
+// by b's instructions: to earlier instructions of b itself and, across the
+// buffer boundary, to the previous buffer's tail in fprev. Contributions
+// further back are impossible — the previous buffer covers at least one
+// window (buffers before the last are always assembled to >= window), so the
+// distance check already excludes them.
+func (s *FanoutStream) credit(b []trace.Dyn, fb []int32, prev []trace.Dyn, fprev []int32) []int32 {
+	if cap(fb) < len(b) {
+		fb = make([]int32, len(b))
+	} else {
+		fb = fb[:len(b)]
+		clear(fb)
+	}
+	if len(b) == 0 {
+		return fb
+	}
+	nb := b[0].Seq
+	var pb int64
+	if len(prev) > 0 {
+		pb = prev[0].Seq
+	}
+	for i := range b {
+		d := &b[i]
+		for k := uint8(0); k < d.NProd; k++ {
+			q := d.Prod[k]
+			if q < s.base || d.Seq-q > int64(s.window) {
+				continue
+			}
+			if q >= nb {
+				fb[q-nb]++
+			} else {
+				fprev[q-pb]++
+			}
+		}
+	}
+	return fb
+}
+
+// Next returns the next (dyns, fanouts) chunk, or (nil, nil) at end of
+// stream.
+func (s *FanoutStream) Next() ([]trace.Dyn, []int32) {
+	if !s.started {
+		s.started = true
+		s.cur = s.assemble(s.cur[:0])
+		if len(s.cur) == 0 {
+			return nil, nil
+		}
+		s.base = s.cur[0].Seq
+		s.fcur = s.credit(s.cur, s.fcur, nil, nil)
+	} else {
+		s.cur, s.nxt = s.nxt, s.cur
+		s.fcur, s.fnxt = s.fnxt, s.fcur
+		if len(s.cur) == 0 {
+			return nil, nil
+		}
+	}
+	s.nxt = s.assemble(s.nxt[:0])
+	s.fnxt = s.credit(s.nxt, s.fnxt, s.cur, s.fcur)
+	return s.cur, s.fcur
+}
+
+// StreamChains runs chain extraction over a streamed window, calling visit
+// for every chain in the exact order Extract would report them over the
+// materialized slice. fanOf resolves a chain member (absolute stream index)
+// to its whole-stream fanout — the fan slice HighFanoutGaps consumes in the
+// materialized path. Memory stays O(opt.ChunkSize + opt.FanoutWindow).
+//
+// src must yield chunks of opt.ChunkSize (a GenSource constructed with that
+// chunk size does) so that extraction chunk boundaries land where Extract's
+// slicing puts them.
+func StreamChains(src trace.Source, opt Options, visit func(c *Chain, fanOf func(member int32) int32)) {
+	if opt.ChunkSize <= 0 {
+		opt.ChunkSize = 1024
+	}
+	if opt.FanoutWindow <= 0 {
+		opt.FanoutWindow = 128
+	}
+	if opt.MinLen <= 0 {
+		opt.MinLen = 2
+	}
+	fs := NewFanoutStream(src, opt.FanoutWindow)
+	base := 0
+	var scratch []Chain
+	for {
+		chunk, fan := fs.Next()
+		if len(chunk) == 0 {
+			return
+		}
+		lo := base
+		fanOf := func(m int32) int32 { return fan[int(m)-lo] }
+		// An assembled buffer is a whole number of source chunks, so
+		// slicing it at ChunkSize strides reproduces Extract's absolute
+		// chunk boundaries.
+		for start := 0; start < len(chunk); start += opt.ChunkSize {
+			end := start + opt.ChunkSize
+			if end > len(chunk) {
+				end = len(chunk)
+			}
+			scratch = extractChunk(chunk[start:end], base+start, opt, scratch[:0])
+			for i := range scratch {
+				visit(&scratch[i], fanOf)
+			}
+		}
+		base += len(chunk)
+	}
+}

@@ -1,0 +1,107 @@
+package dfg
+
+import (
+	"reflect"
+	"testing"
+
+	"critics/internal/stats"
+	"critics/internal/trace"
+	"critics/internal/workload"
+)
+
+// streamDyns returns a materialized dynamic window for the stream tests.
+func streamDyns(t *testing.T, n int) []trace.Dyn {
+	t.Helper()
+	a, ok := workload.FindApp("acrobat")
+	if !ok {
+		t.Fatal("catalog app missing")
+	}
+	g := trace.NewGenerator(workload.Generate(a.Params), 3)
+	g.Skip(5_000)
+	return g.Generate(nil, n)
+}
+
+func TestFanoutStreamMatchesFanouts(t *testing.T) {
+	dyns := streamDyns(t, 30_000)
+	for _, window := range []int{16, 128} {
+		want := Fanouts(dyns, window)
+		for _, chunk := range []int{1, 64, 128, 1024, 4096, len(dyns) + 1} {
+			fs := NewFanoutStream(trace.NewSliceSource(dyns, chunk), window)
+			got := make([]int32, 0, len(dyns))
+			for {
+				c, f := fs.Next()
+				if len(c) == 0 {
+					break
+				}
+				if len(c) != len(f) {
+					t.Fatalf("window=%d chunk=%d: chunk/fanout length mismatch %d vs %d", window, chunk, len(c), len(f))
+				}
+				got = append(got, f...)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("window=%d chunk=%d: streamed fanouts differ", window, chunk)
+			}
+		}
+	}
+}
+
+func TestFanoutStreamReset(t *testing.T) {
+	dyns := streamDyns(t, 4_000)
+	want := Fanouts(dyns, 128)
+	fs := NewFanoutStream(trace.NewSliceSource(dyns, 512), 128)
+	for fsDyns, _ := fs.Next(); len(fsDyns) > 0; fsDyns, _ = fs.Next() {
+	}
+	fs.Reset(trace.NewSliceSource(dyns, 512), 128)
+	var got []int32
+	for {
+		c, f := fs.Next()
+		if len(c) == 0 {
+			break
+		}
+		got = append(got, f...)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fanouts after Reset differ")
+	}
+}
+
+// TestStreamChainsMatchesExtract checks that the streamed extraction visits
+// exactly the chains Extract reports, in order, and that the gap and
+// length/spread folds over the stream equal the materialized measurements.
+func TestStreamChainsMatchesExtract(t *testing.T) {
+	dyns := streamDyns(t, 24_000)
+	for _, opt := range []Options{
+		{ChunkSize: 1024, FanoutWindow: 128, MinLen: 2},
+		{ChunkSize: 2048, FanoutWindow: 128, MinLen: 2, MaxLen: 8},
+		{ChunkSize: 700, FanoutWindow: 128, MinLen: 2, SameBlock: true},
+	} {
+		wantChains := Extract(dyns, opt)
+		fan := Fanouts(dyns, opt.FanoutWindow)
+		wantGaps := HighFanoutGaps(wantChains, fan, 8, 5)
+		wantLS := MeasureLengthSpread(wantChains)
+
+		var gotChains []Chain
+		gotGaps := GapResult{Gaps: stats.NewHistogram(5)}
+		var acc LengthSpreadAcc
+		StreamChains(trace.NewSliceSource(dyns, opt.ChunkSize), opt, func(c *Chain, fanOf func(int32) int32) {
+			cp := Chain{Members: append([]int32(nil), c.Members...), SumFanout: c.SumFanout}
+			gotChains = append(gotChains, cp)
+			for _, m := range c.Members {
+				if fanOf(m) != fan[m] {
+					t.Fatalf("member %d: streamed fanout %d != %d", m, fanOf(m), fan[m])
+				}
+			}
+			gotGaps.AddChain(c, fanOf, 8)
+			acc.Add(c)
+		})
+		if !reflect.DeepEqual(gotChains, wantChains) {
+			t.Fatalf("opt=%+v: streamed chains differ (%d vs %d)", opt, len(gotChains), len(wantChains))
+		}
+		if gotGaps.None != wantGaps.None || !reflect.DeepEqual(gotGaps.Gaps, wantGaps.Gaps) {
+			t.Fatalf("opt=%+v: gap results differ", opt)
+		}
+		if acc.Summary() != wantLS {
+			t.Fatalf("opt=%+v: length/spread summary differs", opt)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"critics/internal/workload"
+)
+
+// sourceApp returns a generated program for the source tests.
+func sourceApp(t *testing.T) *Generator {
+	t.Helper()
+	a, ok := workload.FindApp("acrobat")
+	if !ok {
+		t.Fatal("catalog app missing")
+	}
+	return NewGenerator(workload.Generate(a.Params), 7)
+}
+
+// drain concatenates all chunks of a source (copying, since chunks are only
+// valid until the next pull).
+func drain(src Source) []Dyn {
+	var out []Dyn
+	for {
+		c := src.NextChunk()
+		if len(c) == 0 {
+			return out
+		}
+		out = append(out, c...)
+	}
+}
+
+func TestGenSourceMatchesGenerateArch(t *testing.T) {
+	const arch = 12_000
+	want := sourceApp(t).GenerateArch(nil, arch)
+	for _, chunk := range []int{1, 7, 128, 1024, DefaultChunk, len(want) + 5} {
+		g := sourceApp(t)
+		g2 := g // fresh generator per chunk size
+		got := drain(NewGenSource(g2, arch, chunk))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("chunk=%d: streamed dyns differ from GenerateArch (%d vs %d dyns)", chunk, len(got), len(want))
+		}
+	}
+}
+
+func TestGenSourceSeqContiguous(t *testing.T) {
+	src := NewGenSource(sourceApp(t), 5_000, 512)
+	last := int64(-1)
+	for {
+		c := src.NextChunk()
+		if len(c) == 0 {
+			break
+		}
+		for i := range c {
+			if last >= 0 && c[i].Seq != last+1 {
+				t.Fatalf("Seq gap: %d after %d", c[i].Seq, last)
+			}
+			last = c[i].Seq
+		}
+	}
+}
+
+func TestGenSourceResetReusesBuffer(t *testing.T) {
+	g := sourceApp(t)
+	src := NewGenSource(g, 2_000, 256)
+	first := src.NextChunk()
+	if len(first) != 256 {
+		t.Fatalf("chunk len %d, want 256", len(first))
+	}
+	p0 := &first[0]
+	drain(src)
+	src.Reset(sourceApp(t), 2_000, 0)
+	again := src.NextChunk()
+	if &again[0] != p0 {
+		t.Error("Reset did not reuse the chunk buffer")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	dyns := sourceApp(t).Generate(nil, 1_000)
+	for _, chunk := range []int{1, 3, 333, 1_000, 5_000} {
+		got := drain(NewSliceSource(dyns, chunk))
+		if !reflect.DeepEqual(got, dyns) {
+			t.Fatalf("chunk=%d: round trip lost data", chunk)
+		}
+	}
+	if c := NewSliceSource(nil, 16).NextChunk(); len(c) != 0 {
+		t.Fatalf("empty source yielded %d dyns", len(c))
+	}
+}

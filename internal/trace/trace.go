@@ -476,7 +476,14 @@ func DefaultSamplePlan() SamplePlan {
 }
 
 // Collect runs the plan against a fresh generator and returns the sampled
-// windows.
+// windows, fully materialized.
+//
+// Materializing whole windows is O(plan.Samples * plan.Length) memory and is
+// deprecated for non-test callers on the measurement hot path: profilers and
+// analyses that can consume the stream incrementally should pull chunks
+// through a Source (NewGenSource after Skip-ing to the window start) and run
+// in O(chunk) memory instead. Collect remains the right tool for fixtures
+// and for the profiler's random-access sample windows.
 func Collect(p *prog.Program, seed int64, plan SamplePlan) []Window {
 	g := NewGenerator(p, seed)
 	g.Skip(plan.Warmup)
@@ -493,6 +500,11 @@ func Collect(p *prog.Program, seed int64, plan SamplePlan) []Window {
 
 // Flatten concatenates windows into one stream (used by consumers that do
 // not care about window boundaries).
+//
+// Like Collect, Flatten materializes; it doubles the peak memory of the
+// windows it joins. Deprecated for non-test callers: stream consumers should
+// iterate the windows (or pull a Source) chunk by chunk instead of flattening
+// — see the chunked Source API in source.go.
 func Flatten(ws []Window) []Dyn {
 	n := 0
 	for _, w := range ws {

@@ -38,6 +38,7 @@ func main() {
 		list        = flag.Bool("list", false, "list experiment ids")
 		app         = flag.String("app", "", "run the end-to-end pipeline on one app")
 		quick       = flag.Bool("quick", false, "reduced window sizes")
+		measureArch = flag.Int("measure-arch", 0, "measured window size in architectural instructions (0 = scale default; the streaming pipeline holds memory constant as this grows)")
 		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial; results identical)")
 		cacheStats  = flag.Bool("cache-stats", false, "print memo-cache hit/miss counters after the run")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while running")
@@ -58,6 +59,10 @@ func main() {
 	var opts []critics.Option
 	if *quick {
 		opts = append(opts, critics.WithQuickScale())
+	}
+	if *measureArch > 0 {
+		// After -quick so an explicit window wins over the scale preset.
+		opts = append(opts, critics.WithMeasureInstrs(*measureArch))
 	}
 	opts = append(opts, critics.WithWorkers(*workers), critics.WithTelemetry(reg))
 

@@ -70,22 +70,25 @@ type Task struct {
 // TaskResult is the worker's reply: the measurement in wire form. The
 // cpu.Result's in-memory hierarchy/BPU handles are excluded from JSON (no
 // consumer of a remote measurement reads them); everything else — counters,
-// per-instruction records when requested, the dynamic stream and its fanouts
-// — round-trips exactly.
+// the window aggregates, and (for collect=true requests only) the
+// per-instruction records, dynamic stream and fanouts — round-trips
+// exactly. Streamed (collect=false) measurements retain no slices, so
+// their replies are a few hundred bytes regardless of window length.
 type TaskResult struct {
-	Res     cpu.Result  `json:"res"`
-	Dyns    []trace.Dyn `json:"dyns"`
-	Fanouts []int32     `json:"fanouts"`
+	Res     cpu.Result    `json:"res"`
+	Agg     exp.WindowAgg `json:"agg"`
+	Dyns    []trace.Dyn   `json:"dyns,omitempty"`
+	Fanouts []int32       `json:"fanouts,omitempty"`
 }
 
 // resultOf converts a measurement to its wire form.
 func resultOf(m *exp.Measurement) TaskResult {
-	return TaskResult{Res: m.Res, Dyns: m.Dyns, Fanouts: m.Fanouts}
+	return TaskResult{Res: m.Res, Agg: m.Agg, Dyns: m.Dyns, Fanouts: m.Fanouts}
 }
 
 // measurement converts the wire form back.
 func (r TaskResult) measurement() *exp.Measurement {
-	return &exp.Measurement{Res: r.Res, Dyns: r.Dyns, Fanouts: r.Fanouts}
+	return &exp.Measurement{Res: r.Res, Agg: r.Agg, Dyns: r.Dyns, Fanouts: r.Fanouts}
 }
 
 // registerRequest is the POST /dist/v1/register (and /deregister) body.

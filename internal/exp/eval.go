@@ -101,9 +101,9 @@ func RunFig10(c *Context) *Fig10Result {
 	rows := make([]Fig10Row, len(apps))
 	c.forEach(len(apps), func(i int) {
 		a := apps[i]
-		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), true)
+		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
 		mHoist := c.MeasureVariant(a, VarHoist, cpu.DefaultConfig(), false)
-		mCrit := c.MeasureVariant(a, VarCritIC, cpu.DefaultConfig(), true)
+		mCrit := c.MeasureVariant(a, VarCritIC, cpu.DefaultConfig(), false)
 		mIdeal := c.MeasureVariant(a, VarCritICIdeal, cpu.DefaultConfig(), false)
 
 		row := Fig10Row{App: a.Params.Name}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 	"unsafe"
 
@@ -329,12 +330,76 @@ func (c *Context) buildExactLen(a workload.App, n int) (*prog.Program, compiler.
 	return compiler.ApplyCritIC(c.Program(a), filtered, compiler.Options{MaxLen: n, Switch: compiler.SwitchCDP})
 }
 
+// WindowAgg holds the per-instruction aggregates the figure runners consume,
+// folded online while the measured window retires (cpu.Sim.OnCommit). Every
+// Measurement carries one regardless of collect mode, so figures that only
+// need aggregate breakdowns no longer force O(window) Dyns/Fanouts/Records
+// retention. All fields are integer-valued plain data: the JSON round-trip
+// through the distributed wire form is exact.
+type WindowAgg struct {
+	// Threshold is the individually-critical fanout threshold the Crit*
+	// fields were folded under (Context.HighFanout at measure time; part
+	// of the measurement memo key).
+	Threshold int32 `json:"threshold"`
+
+	CritBkd cpu.Breakdown `json:"crit_bkd"` // stage dwell over critical instructions
+	AllBkd  cpu.Breakdown `json:"all_bkd"`  // stage dwell over the whole window
+
+	CritDyns     int64 `json:"crit_dyns"`     // fanout >= Threshold
+	OverheadDyns int64 `json:"overhead_dyns"` // compiler-inserted (CDPs, switch branches)
+	ThumbArch    int64 `json:"thumb_arch"`    // architectural instructions in Thumb state
+	ChainDyns    int64 `json:"chain_dyns"`    // members of an optimized chain
+
+	// Critical-instruction measured execute-latency mix (Fig. 3c buckets).
+	CritLat1     int64 `json:"crit_lat1"`
+	CritLat2to3  int64 `json:"crit_lat2to3"`
+	CritLat4Plus int64 `json:"crit_lat4plus"`
+}
+
 // Measurement is one simulated window plus the artifacts the figure runners
-// consume.
+// consume. Agg is always populated; Dyns, Fanouts and Res.Records are only
+// retained when the measurement was taken with collect=true (trace export
+// and other per-instruction consumers) — the streaming measure path never
+// materializes them.
 type Measurement struct {
 	Res     cpu.Result
+	Agg     WindowAgg
 	Dyns    []trace.Dyn
 	Fanouts []int32
+}
+
+// aggObserver returns the commit observer that folds the measured window
+// into m.Agg. Attach it after the warm window so only measured retirements
+// are counted.
+func (m *Measurement) aggObserver(threshold int32) func(*trace.Dyn, int32, *cpu.Record) {
+	agg := &m.Agg
+	agg.Threshold = threshold
+	return func(d *trace.Dyn, fan int32, r *cpu.Record) {
+		b := cpu.BreakdownOf(r)
+		agg.AllBkd.Add(b)
+		if d.Overhead {
+			agg.OverheadDyns++
+		} else if d.Thumb {
+			agg.ThumbArch++
+		}
+		if d.ChainID != 0 {
+			agg.ChainDyns++
+		}
+		if fan >= threshold {
+			agg.CritDyns++
+			agg.CritBkd.Add(b)
+			// Measured execute time (loads include their memory time),
+			// which is what Fig. 3c contrasts.
+			switch lat := r.Done - r.Issued; {
+			case lat <= 1:
+				agg.CritLat1++
+			case lat <= 3:
+				agg.CritLat2to3++
+			default:
+				agg.CritLat4Plus++
+			}
+		}
+	}
 }
 
 // Speedup returns base.Cycles / opt.Cycles as a percentage gain.
@@ -345,10 +410,27 @@ func Speedup(base, opt *Measurement) float64 {
 	return 100 * (float64(base.Res.Cycles)/float64(opt.Res.Cycles) - 1)
 }
 
+// measureBuffers bundles the streaming scratch state one measurement needs
+// — a chunked generator source and an online fanout stream — so repeated
+// measurements (and the per-worker loops of criticd/dist fleets) reuse the
+// chunk and window buffers instead of reallocating them per window.
+type measureBuffers struct {
+	src trace.GenSource
+	fs  dfg.FanoutStream
+}
+
+var measureBufs = sync.Pool{New: func() any { return new(measureBuffers) }}
+
 // Measure simulates one program under cfg over the context's measurement
 // window (with warm-up), optionally collecting per-instruction records.
 // This is the uncached primitive; experiment runners go through
 // MeasureVariant, which memoizes the result.
+//
+// With collect=false the whole generate → fanout → simulate path streams in
+// chunks: peak memory is O(chunk + fanout window) regardless of MeasureArch,
+// and the returned Measurement retains only Res and Agg. collect=true
+// materializes the window (Dyns, Fanouts, Res.Records) for per-instruction
+// consumers. Both paths produce bit-identical Res and Agg.
 func (c *Context) Measure(p *prog.Program, cfg cpu.Config, collect bool) *Measurement {
 	if c.tel != nil {
 		cfg.Metrics = c.tel.Sim
@@ -358,17 +440,45 @@ func (c *Context) Measure(p *prog.Program, cfg cpu.Config, collect bool) *Measur
 	}
 	g := trace.NewGenerator(p, c.Seed)
 	g.SkipArch(c.WarmupArch)
-	warm := g.GenerateArch(nil, c.WarmArch)
-	dyns := g.GenerateArch(nil, c.MeasureArch)
-
-	warmFan := dfg.Fanouts(warm, 128)
-	fan := dfg.Fanouts(dyns, 128)
 
 	cfg.CollectRecords = collect
 	s := cpu.New(cfg)
-	s.Run(warm, warmFan)
-	res := s.Run(dyns, fan)
-	return &Measurement{Res: res, Dyns: dyns, Fanouts: fan}
+	m := &Measurement{}
+
+	if collect {
+		warm := g.GenerateArch(nil, c.WarmArch)
+		dyns := g.GenerateArch(nil, c.MeasureArch)
+		warmFan := dfg.Fanouts(warm, 128)
+		fan := dfg.Fanouts(dyns, 128)
+		s.Run(warm, warmFan)
+		s.OnCommit(m.aggObserver(c.HighFanout))
+		m.Res = s.Run(dyns, fan)
+		m.Dyns, m.Fanouts = dyns, fan
+		return m
+	}
+
+	b := measureBufs.Get().(*measureBuffers)
+	defer measureBufs.Put(b)
+	b.src.Reset(g, c.WarmArch, trace.DefaultChunk)
+	b.fs.Reset(&b.src, 128)
+	s.RunStream(&b.fs)
+	s.OnCommit(m.aggObserver(c.HighFanout))
+	b.src.Reset(g, c.MeasureArch, trace.DefaultChunk)
+	b.fs.Reset(&b.src, 128)
+	m.Res = s.RunStream(&b.fs)
+	return m
+}
+
+// windowSource returns a chunked Source over the context's measure window of
+// the given variant — exactly the dyns a Measurement of that variant covers
+// (same seed, same warm-up skip), without simulating or materializing the
+// window. Chain-structure figures stream their extraction over it.
+func (c *Context) windowSource(a workload.App, kind string, chunk int) *trace.GenSource {
+	p, _ := c.Variant(a, kind)
+	g := trace.NewGenerator(p, c.Seed)
+	g.SkipArch(c.WarmupArch)
+	g.SkipArch(c.WarmArch)
+	return trace.NewGenSource(g, c.MeasureArch, chunk)
 }
 
 // MeasureVariant measures one (app, variant, machine config) shard through
@@ -386,7 +496,7 @@ func (c *Context) MeasureVariant(a workload.App, kind string, cfg cpu.Config, co
 	kcfg := cfg
 	kcfg.Metrics = nil
 	key := sched.KeyOf("meas", a.Params, kind, kcfg, collect,
-		c.Seed, c.WarmupArch, c.WarmArch, c.MeasureArch, c.ProfilePlan)
+		c.Seed, c.WarmupArch, c.WarmArch, c.MeasureArch, c.ProfilePlan, c.HighFanout)
 	return memoGet(c, c.caches.meas, "measure "+a.Params.Name+"/"+kind, key, func() *Measurement {
 		if c.remote != nil {
 			ctx := c.runCtx
@@ -397,6 +507,7 @@ func (c *Context) MeasureVariant(a workload.App, kind string, cfg cpu.Config, co
 				App: a.Params, Kind: kind, Config: kcfg, Collect: collect,
 				Seed: c.Seed, WarmupArch: c.WarmupArch, WarmArch: c.WarmArch,
 				MeasureArch: c.MeasureArch, ProfilePlan: c.ProfilePlan,
+				HighFanout: c.HighFanout,
 			})
 			if err == nil {
 				return m
@@ -434,6 +545,7 @@ type MeasureRequest struct {
 	WarmArch    int              `json:"warm_arch"`
 	MeasureArch int              `json:"measure_arch"`
 	ProfilePlan trace.SamplePlan `json:"profile_plan"`
+	HighFanout  int32            `json:"high_fanout"`
 }
 
 // Remote executes measurement units somewhere other than this process.
@@ -461,6 +573,7 @@ func ExecuteMeasure(ctx context.Context, req MeasureRequest, caches *Caches, wor
 		WarmArch:    req.WarmArch,
 		MeasureArch: req.MeasureArch,
 		ProfilePlan: req.ProfilePlan,
+		HighFanout:  req.HighFanout,
 		Workers:     workers,
 		caches:      caches,
 	}
@@ -489,12 +602,16 @@ func ExecuteMeasure(ctx context.Context, req MeasureRequest, caches *Caches, wor
 	return m, nil
 }
 
-// measurementCost approximates a measurement's retained bytes (its slices
-// dominate; struct overheads are noise at this scale).
+// measurementCost approximates a measurement's retained bytes. Streamed
+// (collect=false) measurements retain no slices — they cost the fixed
+// struct footprint — while collect=true measurements are dominated by their
+// Dyns/Fanouts/Records buffers.
 func measurementCost(m *Measurement) int64 {
 	const dynBytes = int64(unsafe.Sizeof(trace.Dyn{}))
 	const recBytes = int64(unsafe.Sizeof(cpu.Record{}))
-	return int64(len(m.Dyns))*dynBytes +
+	const structBytes = int64(unsafe.Sizeof(Measurement{}))
+	return structBytes +
+		int64(len(m.Dyns))*dynBytes +
 		int64(len(m.Fanouts))*4 +
 		int64(len(m.Res.Records))*recBytes
 }
@@ -572,16 +689,10 @@ func (c *Context) forEach(n int, f func(i int)) {
 	p.Map(n, f)
 }
 
-// critBreakdown aggregates the per-stage residency of the high-fanout
-// (individually critical) instructions of a measurement.
+// critBreakdown returns the per-stage residency of the high-fanout
+// (individually critical) instructions of a measurement, and of its whole
+// window — folded online while the window retired (WindowAgg), so it is
+// available in both collect modes.
 func (c *Context) critBreakdown(m *Measurement) (crit cpu.Breakdown, all cpu.Breakdown, critCount int) {
-	for i := range m.Res.Records {
-		b := cpu.BreakdownOf(&m.Res.Records[i])
-		all.Add(b)
-		if m.Fanouts[i] >= c.HighFanout {
-			crit.Add(b)
-			critCount++
-		}
-	}
-	return crit, all, critCount
+	return m.Agg.CritBkd, m.Agg.AllBkd, int(m.Agg.CritDyns)
 }

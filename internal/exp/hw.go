@@ -86,7 +86,7 @@ func RunFig11(c *Context) *Fig11Result {
 	c.forEach(len(apps), func(i int) {
 		a := apps[i]
 
-		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), true)
+		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
 		mCrit := c.MeasureVariant(a, VarCritIC, cpu.DefaultConfig(), false)
 		outs[i].critic = Speedup(base, mCrit)
 		_, allB, _ := c.critBreakdown(base)
@@ -97,7 +97,7 @@ func RunFig11(c *Context) *Fig11Result {
 
 		for mi, mech := range HWMechs {
 			cfg := ApplyHW(mech)
-			mAlone := c.MeasureVariant(a, VarBase, cfg, true)
+			mAlone := c.MeasureVariant(a, VarBase, cfg, false)
 			outs[i].alone[mi] = Speedup(base, mAlone)
 			_, all, _ := c.critBreakdown(mAlone)
 			if t := all.Total(); t > 0 {

@@ -60,7 +60,9 @@ func RunFig1a(c *Context) *Fig1aResult {
 
 			pf[i] = Speedup(base, mPF)
 			pr[i] = Speedup(base, mPR)
-			cf[i] = dfg.CriticalFraction(base.Fanouts, c.HighFanout)
+			if base.Res.AllDyns > 0 {
+				cf[i] = float64(base.Agg.CritDyns) / float64(base.Res.AllDyns)
+			}
 		})
 		out.Rows = append(out.Rows, Fig1aRow{
 			Suite:        suite,
@@ -111,13 +113,18 @@ func RunFig1b(c *Context) *Fig1bResult {
 		var mu = make([]dfg.GapResult, len(apps))
 		c.forEach(len(apps), func(i int) {
 			a := apps[i]
-			m := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
 			chunk := 1024
 			if suite != "android" {
 				chunk = 8192
 			}
-			chains := dfg.Extract(m.Dyns, dfg.Options{ChunkSize: chunk, FanoutWindow: 128, MinLen: 2})
-			mu[i] = dfg.HighFanoutGaps(chains, m.Fanouts, c.HighFanout, 5)
+			// Chain structure only needs the trace, not the simulation:
+			// stream extraction straight off the measure window.
+			g := dfg.GapResult{Gaps: stats.NewHistogram(5)}
+			opt := dfg.Options{ChunkSize: chunk, FanoutWindow: 128, MinLen: 2}
+			dfg.StreamChains(c.windowSource(a, VarBase, chunk), opt, func(ch *dfg.Chain, fanOf func(int32) int32) {
+				g.AddChain(ch, fanOf, c.HighFanout)
+			})
+			mu[i] = g
 		})
 		for _, g := range mu {
 			agg.Gaps.Merge(g.Gaps)
@@ -184,7 +191,7 @@ func RunFig3(c *Context) *Fig3Result {
 		rows := make([]Fig3Row, len(apps))
 		c.forEach(len(apps), func(i int) {
 			a := apps[i]
-			m := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), true)
+			m := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
 			crit, _, n := c.critBreakdown(m)
 			var row Fig3Row
 			tot := float64(crit.Total())
@@ -198,22 +205,9 @@ func RunFig3(c *Context) *Fig3Result {
 				row.FStallForRD = float64(crit.FetchRD) / tot
 			}
 			// Latency mix from *measured* execute time (loads include
-			// their memory time), which is what Fig. 3c contrasts.
-			var l1, l23, l4 int
-			for k := range m.Res.Records {
-				if m.Fanouts[k] < c.HighFanout {
-					continue
-				}
-				r := &m.Res.Records[k]
-				switch lat := r.Done - r.Issued; {
-				case lat <= 1:
-					l1++
-				case lat <= 3:
-					l23++
-				default:
-					l4++
-				}
-			}
+			// their memory time), which is what Fig. 3c contrasts —
+			// folded during the streaming pass (WindowAgg).
+			l1, l23, l4 := m.Agg.CritLat1, m.Agg.CritLat2to3, m.Agg.CritLat4Plus
 			if n > 0 && l1+l23+l4 > 0 {
 				tot := float64(l1 + l23 + l4)
 				row.Lat1 = float64(l1) / tot
@@ -292,21 +286,23 @@ func RunFig5a(c *Context) *Fig5aResult {
 	suites := Suites()
 	for _, suite := range SuiteOrder {
 		apps := suites[suite]
-		parts := make([][]dfg.Chain, len(apps))
+		parts := make([]dfg.LengthSpreadAcc, len(apps))
 		c.forEach(len(apps), func(i int) {
 			a := apps[i]
-			m := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
 			chunk := 2048
 			if suite != "android" {
 				chunk = 16384
 			}
-			parts[i] = dfg.Extract(m.Dyns, dfg.Options{ChunkSize: chunk, FanoutWindow: 128, MinLen: 2})
+			opt := dfg.Options{ChunkSize: chunk, FanoutWindow: 128, MinLen: 2}
+			dfg.StreamChains(c.windowSource(a, VarBase, chunk), opt, func(ch *dfg.Chain, _ func(int32) int32) {
+				parts[i].Add(ch)
+			})
 		})
-		var all []dfg.Chain
-		for _, p := range parts {
-			all = append(all, p...)
+		var all dfg.LengthSpreadAcc
+		for i := range parts {
+			all.Merge(&parts[i])
 		}
-		out.Rows = append(out.Rows, Fig5aRow{Suite: suite, LengthSpread: dfg.MeasureLengthSpread(all)})
+		out.Rows = append(out.Rows, Fig5aRow{Suite: suite, LengthSpread: all.Summary()})
 	}
 	return out
 }

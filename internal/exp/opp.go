@@ -46,18 +46,8 @@ func RunFig13(c *Context) *Fig13Result {
 		for si, sch := range fig13Schemes {
 			m := c.MeasureVariant(a, sch.kind, cpu.DefaultConfig(), false)
 			grid[si][i] = Speedup(base, m)
-			var th, arch int64
-			for k := range m.Dyns {
-				if m.Dyns[k].Overhead {
-					continue
-				}
-				arch++
-				if m.Dyns[k].Thumb {
-					th++
-				}
-			}
-			if arch > 0 {
-				thumb[si][i] = float64(th) / float64(arch)
+			if arch := m.Res.AllDyns - m.Agg.OverheadDyns; arch > 0 {
+				thumb[si][i] = float64(m.Agg.ThumbArch) / float64(arch)
 			}
 		}
 	})

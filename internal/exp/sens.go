@@ -40,30 +40,24 @@ func RunFig12a(c *Context) *Fig12aResult {
 	}
 	c.forEach(len(apps), func(i int) {
 		a := apps[i]
-		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), true)
+		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
 		_, allB, _ := c.critBreakdown(base)
 		baseFrac := 0.0
 		if t := allB.Total(); t > 0 {
 			baseFrac = float64(allB.FetchI+allB.FetchRD) / float64(t)
 		}
 		for li, n := range lengths {
-			m := c.MeasureVariant(a, fmt.Sprintf("critic-len-%d", n), cpu.DefaultConfig(), true)
+			m := c.MeasureVariant(a, fmt.Sprintf("critic-len-%d", n), cpu.DefaultConfig(), false)
 			_, all, _ := c.critBreakdown(m)
 			var fetchSaved float64
 			if t := all.Total(); t > 0 && baseFrac > 0 {
 				frac := float64(all.FetchI+all.FetchRD) / float64(t)
 				fetchSaved = 100 * (baseFrac - frac) / baseFrac
 			}
-			var chainDyn int64
-			for k := range m.Dyns {
-				if m.Dyns[k].ChainID != 0 {
-					chainDyn++
-				}
-			}
 			grid[li][i] = cell{
 				sp:    Speedup(base, m),
 				fetch: fetchSaved,
-				cov:   float64(chainDyn) / float64(len(m.Dyns)),
+				cov:   float64(m.Agg.ChainDyns) / float64(m.Res.AllDyns),
 			}
 		}
 	})

@@ -131,12 +131,48 @@ func BenchmarkPipelineSimulation(b *testing.B) {
 	g.Skip(10_000)
 	dyns := g.Generate(nil, 20_000)
 	fan := dfg.Fanouts(dyns, 128)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := cpu.New(cpu.DefaultConfig())
 		s.Run(dyns, fan)
 	}
 	b.SetBytes(20_000)
+}
+
+// BenchmarkSimNoRecords is the allocation guard for the no-records
+// simulation hot path: with a hoisted Sim and the window buffers warm in
+// the pool, a Run must not allocate per instruction (CI pins allocs/op —
+// see the bench-smoke step).
+func BenchmarkSimNoRecords(b *testing.B) {
+	app := acrobatProgram()
+	p := workload.Generate(app.Params)
+	g := trace.NewGenerator(p, 1)
+	g.Skip(10_000)
+	dyns := g.Generate(nil, 20_000)
+	fan := dfg.Fanouts(dyns, 128)
+	s := cpu.New(cpu.DefaultConfig())
+	s.Run(dyns, fan) // warm the buffer pool before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(dyns, fan)
+	}
+	b.SetBytes(20_000)
+}
+
+// BenchmarkMeasureStreaming runs the streamed (collect=false) measurement
+// primitive end-to-end — generate, online fanout, simulate — at quick
+// scale; allocs/op shows the constant per-window footprint.
+func BenchmarkMeasureStreaming(b *testing.B) {
+	ctx := exp.QuickContext()
+	app := acrobatProgram()
+	p := ctx.Program(*app)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Measure(p, cpu.DefaultConfig(), false)
+	}
 }
 
 // benchmarkSimTelemetry is the overhead guard for the telemetry nil-sink
@@ -233,6 +269,7 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 // BenchmarkEndToEnd runs the complete pipeline (profile + compile + simulate
 // baseline and optimized) for one app at quick scale.
 func BenchmarkEndToEnd(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ctx := exp.QuickContext()
 		app, _ := workload.FindApp("maps")

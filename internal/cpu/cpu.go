@@ -208,8 +208,9 @@ type Sim struct {
 	// observed fanout — the hardware-table analogue both baseline
 	// optimizations rely on (§II-A). For loads it additionally learns the
 	// address stride, so the critical-load prefetcher ([18]) can issue
-	// the *next* occurrence's line ahead of time.
-	critTable map[uint32]*critEntry
+	// the *next* occurrence's line ahead of time. Stored as a flat
+	// open-addressed table (crit.go): it is probed per retired instruction.
+	critTable critTable
 
 	// clock is the absolute cycle count across Run calls; cache and DRAM
 	// timestamps are absolute, so successive windows continue the clock
@@ -234,27 +235,18 @@ func (s *Sim) OnCommit(fn func(d *trace.Dyn, fanout int32, r *Record)) {
 	s.onCommit = fn
 }
 
-// critEntry is one criticality-table entry.
-type critEntry struct {
-	crit     uint8 // saturating criticality confidence
-	lastAddr uint32
-	stride   int32
-	conf     uint8 // stride confidence
-}
-
 // New creates a simulator.
 func New(cfg Config) *Sim {
 	return &Sim{
-		cfg:       cfg,
-		hier:      cache.NewHierarchy(cfg.Hier),
-		bpu:       bpu.New(cfg.BPU),
-		critTable: make(map[uint32]*critEntry),
+		cfg:  cfg,
+		hier: cache.NewHierarchy(cfg.Hier),
+		bpu:  bpu.New(cfg.BPU),
 	}
 }
 
 // predCritical reports whether the PC is predicted critical.
 func (s *Sim) predCritical(pc uint32) bool {
-	e := s.critTable[pc]
+	e := s.critTable.lookup(pc)
 	return e != nil && e.crit >= 2
 }
 
@@ -264,11 +256,7 @@ func (s *Sim) predCritical(pc uint32) bool {
 // the form of [18]'s criticality-directed prefetching that actually hides
 // DRAM latency for strided critical loads.
 func (s *Sim) trainCritical(d *trace.Dyn, fanout int32, now int64) {
-	e := s.critTable[d.Addr]
-	if e == nil {
-		e = &critEntry{}
-		s.critTable[d.Addr] = e
-	}
+	e := s.critTable.insert(d.Addr)
 	if fanout >= s.cfg.CritFanoutThreshold {
 		if e.crit < 3 {
 			e.crit++
@@ -354,7 +342,18 @@ type runBuffers struct {
 	fetchQ  []int32
 	renameQ []int32
 	robQ    []int32
-	iq      []int32
+	iq      []iqEnt
+}
+
+// iqEnt is one issue-queue slot: the instruction's absolute stream index plus
+// a memoized wake-up cycle. wake > now means the entry's producers are all
+// scheduled and the latest finishes at wake, so the scan skips it without
+// re-walking the producers; wake <= now means the entry must be (re)checked.
+// The memo is exact — producer Done times are assigned once, at issue — so
+// skipping is invisible to results.
+type iqEnt struct {
+	idx  int32
+	wake int64
 }
 
 var runBufs = sync.Pool{New: func() any { return &runBuffers{} }}
@@ -538,21 +537,30 @@ func (s *Sim) RunStream(st Stream) Result {
 		}
 	}
 
-	prodsDone := func(d *trace.Dyn) bool {
+	// prodsReady reports whether every producer of d has its result available
+	// at now. When not ready it also returns the wake-up cycle the issue scan
+	// may skip to: the latest producer completion when all producers are
+	// scheduled (exact — Done times are assigned once, at issue), or now+1
+	// when some producer has not issued yet (re-check next cycle, which is
+	// when its readiness could earliest change).
+	prodsReady := func(d *trace.Dyn) (bool, int64) {
+		var wake int64
 		for k := uint8(0); k < d.NProd; k++ {
 			p := int(d.Prod[k] - seqBase)
-			if p < 0 {
+			if p < winBase {
+				// Before the stream, or slid out of the window => committed;
+				// result long available.
 				continue
 			}
-			if p < winBase {
-				continue // slid out of the window => committed; result long available
-			}
 			pd := rec[p-winBase].Done
-			if pd < 0 || pd > now {
-				return false
+			if pd < 0 {
+				return false, now + 1
+			}
+			if pd > wake {
+				wake = pd
 			}
 		}
-		return true
+		return wake <= now, wake
 	}
 
 	for !exhausted || committed < int64(hi) {
@@ -600,9 +608,13 @@ func (s *Sim) RunStream(st Stream) Result {
 		}
 		for pass := 0; pass < passes && budget > 0; pass++ {
 			for qi := 0; qi < len(iq) && budget > 0; qi++ {
-				idx := iq[qi]
+				e := &iq[qi]
+				idx := e.idx
 				if idx == noIdx {
 					continue
+				}
+				if e.wake > now {
+					continue // producers known not done before wake
 				}
 				d := dynAt(int(idx))
 				if s.cfg.BackendPrio {
@@ -618,7 +630,8 @@ func (s *Sim) RunStream(st Stream) Result {
 				if r.Dispatched >= now {
 					continue
 				}
-				if !prodsDone(d) {
+				if ready, wake := prodsReady(d); !ready {
+					e.wake = wake
 					continue
 				}
 				var pool *int
@@ -648,14 +661,14 @@ func (s *Sim) RunStream(st Stream) Result {
 				default:
 					r.Done = now + int64(d.Latency)
 				}
-				iq[qi] = noIdx
+				e.idx = noIdx
 			}
 		}
 		// Compact the issue queue occasionally.
 		if len(iq) > 0 {
 			out := iq[:0]
 			for _, v := range iq {
-				if v != noIdx {
+				if v.idx != noIdx {
 					out = append(out, v)
 				}
 			}
@@ -678,7 +691,7 @@ func (s *Sim) RunStream(st Stream) Result {
 			pop(&renameQ)
 			recAt(int(idx)).Dispatched = now
 			push(&rob, idx)
-			iq = append(iq, idx)
+			iq = append(iq, iqEnt{idx: idx})
 			if d.IsLoad || d.IsStore {
 				lsqUsed++
 			}

@@ -39,13 +39,19 @@ func RunAblateFetch(c *Context) *AblateFetchResult {
 	}
 	c.forEach(len(apps), func(i int) {
 		a := apps[i]
-		for wi, w := range widths {
+		// Each variant kind is measured at all three widths over one shared
+		// trace: the sweep helper batches the widths per kind (3-lane builds).
+		var units []MeasureUnit
+		for _, w := range widths {
 			cfg := cpu.DefaultConfig()
 			cfg.FetchBytes = w
-			base := c.MeasureVariant(a, VarBase, cfg, false)
-			mC := c.MeasureVariant(a, VarCritIC, cfg, false)
-			mO := c.MeasureVariant(a, VarOPP16, cfg, false)
-			mH := c.MeasureVariant(a, VarHoist, cfg, false)
+			units = append(units,
+				MeasureUnit{VarBase, cfg}, MeasureUnit{VarCritIC, cfg},
+				MeasureUnit{VarOPP16, cfg}, MeasureUnit{VarHoist, cfg})
+		}
+		ms := c.MeasureSweep(a, units, false)
+		for wi := range widths {
+			base, mC, mO, mH := ms[4*wi], ms[4*wi+1], ms[4*wi+2], ms[4*wi+3]
 			grid[wi][i] = cell{
 				ipc:    base.Res.IPC(),
 				critic: Speedup(base, mC),
@@ -119,12 +125,15 @@ func RunAblateCDP(c *Context) *AblateCDPResult {
 	}
 	c.forEach(len(apps), func(i int) {
 		a := apps[i]
-		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
-		for vi, v := range variants {
+		units := []MeasureUnit{{VarBase, cpu.DefaultConfig()}}
+		for _, v := range variants {
 			cfg := cpu.DefaultConfig()
 			cfg.CDPExtraDecodeCycle = v.bubble
-			m := c.MeasureVariant(a, v.kind, cfg, false)
-			grid[vi][i] = Speedup(base, m)
+			units = append(units, MeasureUnit{v.kind, cfg})
+		}
+		ms := c.MeasureSweep(a, units, false)
+		for vi := range variants {
+			grid[vi][i] = Speedup(ms[0], ms[1+vi])
 		}
 	})
 	out := &AblateCDPResult{}

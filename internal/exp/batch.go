@@ -1,0 +1,197 @@
+package exp
+
+import (
+	"time"
+
+	"critics/internal/cpu"
+	"critics/internal/dfg"
+	"critics/internal/sched"
+	"critics/internal/trace"
+	"critics/internal/workload"
+)
+
+// MeasureBatch measures several machine configurations of one (app, variant)
+// in a single batched build: the configurations share a trace key (same
+// generated program, seed and window), so their measurements differ only in
+// the simulated machine — exactly the shape of the fig10/fig11/fig12/fig13
+// design-space sweeps. Cache misses are simulated together on a cpu.BatchSim
+// (one trace-generation + fanout pass feeding N lockstep lanes) and each
+// lane's Measurement is then published to the memo cache under the same
+// per-variant key MeasureVariant uses — so results are bit-identical to K
+// independent MeasureVariant calls, later single-variant lookups hit the same
+// entries, and distributed workers never see a new request shape.
+//
+// Batching is a build-strategy choice only. Cached configurations are served
+// from the memo (Memo.Peek) without joining the batch; a single remaining
+// miss, or a context with a Remote attached (fleet execution is already
+// per-variant), degenerates to MeasureVariant. Under a cancelled run context
+// results may be nil, as with MeasureVariant.
+func (c *Context) MeasureBatch(a workload.App, kind string, cfgs []cpu.Config, collect bool) []*Measurement {
+	out := make([]*Measurement, len(cfgs))
+	if len(cfgs) == 0 {
+		return out
+	}
+
+	// Resolve each configuration's memo key (telemetry stripped, exactly as
+	// MeasureVariant), peel off cache hits and in-batch duplicates, and
+	// collect the misses that are worth building together.
+	keys := make([]sched.Key, len(cfgs))
+	first := make(map[sched.Key]int, len(cfgs))
+	dupOf := make([]int, len(cfgs))
+	var miss []int
+	for i, cfg := range cfgs {
+		kcfg := cfg
+		kcfg.Metrics = nil
+		keys[i] = sched.KeyOf("meas", a.Params, kind, kcfg, collect,
+			c.Seed, c.WarmupArch, c.WarmArch, c.MeasureArch, c.ProfilePlan, c.HighFanout)
+		if j, ok := first[keys[i]]; ok {
+			dupOf[i] = j
+			continue
+		}
+		first[keys[i]] = i
+		dupOf[i] = i
+		if m, ok := c.caches.meas.Peek(keys[i]); ok {
+			out[i] = m
+		} else {
+			miss = append(miss, i)
+		}
+	}
+
+	switch {
+	case len(miss) == 0:
+		// Fully cached.
+	case len(miss) == 1 || c.remote != nil || c.serialSweeps:
+		// Nothing to batch, the fleet executes per-variant units, or the
+		// serial reference schedule is forced: the established
+		// single-variant path (memoized, remote-capable).
+		for _, i := range miss {
+			out[i] = c.MeasureVariant(a, kind, cfgs[i], collect)
+		}
+	default:
+		missCfgs := make([]cpu.Config, len(miss))
+		for bi, i := range miss {
+			missCfgs[bi] = cfgs[i]
+		}
+		ms := c.measureBatch(a, kind, missCfgs, collect)
+		for bi, i := range miss {
+			m := ms[bi]
+			// Publish under the per-variant key. If another goroutine built
+			// the same key since the peek, the single-flight entry wins and
+			// we share it — bit-identical either way. Under a cancelled run
+			// context the validity check discards the value and nil comes
+			// back, matching MeasureVariant.
+			out[i] = memoGet(c, c.caches.meas, "measure "+a.Params.Name+"/"+kind, keys[i],
+				func() *Measurement { return m }, measurementCost)
+		}
+	}
+
+	for i := range out {
+		if out[i] == nil && dupOf[i] != i {
+			out[i] = out[dupOf[i]]
+		}
+	}
+	return out
+}
+
+// MeasureUnit names one measurement of a design-space sweep: a compiled
+// variant kind and a machine configuration.
+type MeasureUnit struct {
+	Kind string
+	Cfg  cpu.Config
+}
+
+// MeasureSweep measures a set of units for one app, batching the units that
+// share a trace key: the generated trace depends on the compiled program
+// (kind), not the machine, so all configurations of one kind ride a single
+// MeasureBatch build. Groups follow first-appearance order and results are
+// positional, so callers index them exactly as they listed the units. Sweeps
+// whose units are all distinct kinds (one machine each) degenerate to the
+// plain memoized path — batching only ever changes build strategy, never
+// results.
+func (c *Context) MeasureSweep(a workload.App, units []MeasureUnit, collect bool) []*Measurement {
+	out := make([]*Measurement, len(units))
+	byKind := make(map[string][]int, len(units))
+	var kinds []string
+	for i, u := range units {
+		if _, ok := byKind[u.Kind]; !ok {
+			kinds = append(kinds, u.Kind)
+		}
+		byKind[u.Kind] = append(byKind[u.Kind], i)
+	}
+	for _, kind := range kinds {
+		idx := byKind[kind]
+		cfgs := make([]cpu.Config, len(idx))
+		for bi, i := range idx {
+			cfgs[bi] = units[i].Cfg
+		}
+		ms := c.MeasureBatch(a, kind, cfgs, collect)
+		for bi, i := range idx {
+			out[i] = ms[bi]
+		}
+	}
+	return out
+}
+
+// measureBatch is the uncached batched build: one generated trace feeds every
+// configuration as a lockstep BatchSim lane. It mirrors Measure exactly —
+// same warm-up skip, warm window, measured window and per-lane WindowAgg
+// observer — so lane i's Measurement is bit-identical to Measure(p, cfgs[i]).
+func (c *Context) measureBatch(a workload.App, kind string, cfgs []cpu.Config, collect bool) []*Measurement {
+	p, _ := c.Variant(a, kind)
+	if c.tel != nil {
+		for i := range cfgs {
+			cfgs[i].Metrics = c.tel.Sim
+		}
+		c.tel.BatchedMeasurements.Add(int64(len(cfgs)))
+		c.tel.BatchLanes.Observe(float64(len(cfgs)))
+		defer func(start time.Time) {
+			c.tel.MeasureSeconds.Observe(time.Since(start).Seconds())
+		}(time.Now())
+	}
+	for i := range cfgs {
+		cfgs[i].CollectRecords = collect
+	}
+
+	g := trace.NewGenerator(p, c.Seed)
+	g.SkipArch(c.WarmupArch)
+	b := cpu.NewBatch(cfgs)
+	ms := make([]*Measurement, len(cfgs))
+	for i := range ms {
+		ms[i] = &Measurement{}
+	}
+
+	if collect {
+		warm := g.GenerateArch(nil, c.WarmArch)
+		dyns := g.GenerateArch(nil, c.MeasureArch)
+		warmFan := dfg.Fanouts(warm, 128)
+		fan := dfg.Fanouts(dyns, 128)
+		b.Run(warm, warmFan)
+		for i := range ms {
+			b.Lane(i).OnCommit(ms[i].aggObserver(c.HighFanout))
+		}
+		res := b.Run(dyns, fan)
+		for i := range ms {
+			ms[i].Res = res[i]
+			// The window is shared read-only across the batch's
+			// measurements, like every cached Measurement already is.
+			ms[i].Dyns, ms[i].Fanouts = dyns, fan
+		}
+		return ms
+	}
+
+	bufs := measureBufs.Get().(*measureBuffers)
+	defer measureBufs.Put(bufs)
+	bufs.src.Reset(g, c.WarmArch, trace.DefaultChunk)
+	bufs.fs.Reset(&bufs.src, 128)
+	b.RunStream(&bufs.fs)
+	for i := range ms {
+		b.Lane(i).OnCommit(ms[i].aggObserver(c.HighFanout))
+	}
+	bufs.src.Reset(g, c.MeasureArch, trace.DefaultChunk)
+	bufs.fs.Reset(&bufs.src, 128)
+	res := b.RunStream(&bufs.fs)
+	for i := range ms {
+		ms[i].Res = res[i]
+	}
+	return ms
+}

@@ -71,6 +71,11 @@ type Context struct {
 	mapper sched.Mapper
 	remote Remote
 
+	// serialSweeps forces MeasureBatch to build its misses through the
+	// per-variant MeasureVariant path — the serial reference schedule the
+	// batched-equivalence tests compare the lockstep builds against.
+	serialSweeps bool
+
 	// Observability hooks (telemetry.go); both nil by default, costing the
 	// engine nothing.
 	tel    *Telemetry

@@ -86,26 +86,34 @@ func RunFig11(c *Context) *Fig11Result {
 	c.forEach(len(apps), func(i int) {
 		a := apps[i]
 
-		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
-		mCrit := c.MeasureVariant(a, VarCritIC, cpu.DefaultConfig(), false)
-		outs[i].critic = Speedup(base, mCrit)
+		// All seven machine configurations of a variant share its trace, so
+		// each variant is one batched build (a 7-lane BatchSim on a cache-cold
+		// context) instead of seven trace passes.
+		cfgs := make([]cpu.Config, 1+nm)
+		cfgs[0] = cpu.DefaultConfig()
+		for mi, mech := range HWMechs {
+			cfgs[1+mi] = ApplyHW(mech)
+		}
+		baseMs := c.MeasureBatch(a, VarBase, cfgs, false)
+		critMs := c.MeasureBatch(a, VarCritIC, cfgs, false)
+
+		base := baseMs[0]
+		outs[i].critic = Speedup(base, critMs[0])
 		_, allB, _ := c.critBreakdown(base)
 		if t := allB.Total(); t > 0 {
 			outs[i].baseFI = float64(allB.FetchI) / float64(t)
 			outs[i].baseRD = float64(allB.FetchRD) / float64(t)
 		}
 
-		for mi, mech := range HWMechs {
-			cfg := ApplyHW(mech)
-			mAlone := c.MeasureVariant(a, VarBase, cfg, false)
+		for mi := range HWMechs {
+			mAlone := baseMs[1+mi]
 			outs[i].alone[mi] = Speedup(base, mAlone)
 			_, all, _ := c.critBreakdown(mAlone)
 			if t := all.Total(); t > 0 {
 				outs[i].fi[mi] = float64(all.FetchI) / float64(t)
 				outs[i].rd[mi] = float64(all.FetchRD) / float64(t)
 			}
-			mWith := c.MeasureVariant(a, VarCritIC, cfg, false)
-			outs[i].with[mi] = Speedup(base, mWith)
+			outs[i].with[mi] = Speedup(base, critMs[1+mi])
 		}
 	})
 

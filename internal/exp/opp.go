@@ -42,9 +42,14 @@ func RunFig13(c *Context) *Fig13Result {
 	}
 	c.forEach(len(apps), func(i int) {
 		a := apps[i]
-		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
-		for si, sch := range fig13Schemes {
-			m := c.MeasureVariant(a, sch.kind, cpu.DefaultConfig(), false)
+		units := []MeasureUnit{{VarBase, cpu.DefaultConfig()}}
+		for _, sch := range fig13Schemes {
+			units = append(units, MeasureUnit{sch.kind, cpu.DefaultConfig()})
+		}
+		ms := c.MeasureSweep(a, units, false)
+		base := ms[0]
+		for si := range fig13Schemes {
+			m := ms[1+si]
 			grid[si][i] = Speedup(base, m)
 			if arch := m.Res.AllDyns - m.Agg.OverheadDyns; arch > 0 {
 				thumb[si][i] = float64(m.Agg.ThumbArch) / float64(arch)

@@ -40,14 +40,19 @@ func RunFig12a(c *Context) *Fig12aResult {
 	}
 	c.forEach(len(apps), func(i int) {
 		a := apps[i]
-		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
+		units := []MeasureUnit{{VarBase, cpu.DefaultConfig()}}
+		for _, n := range lengths {
+			units = append(units, MeasureUnit{fmt.Sprintf("critic-len-%d", n), cpu.DefaultConfig()})
+		}
+		ms := c.MeasureSweep(a, units, false)
+		base := ms[0]
 		_, allB, _ := c.critBreakdown(base)
 		baseFrac := 0.0
 		if t := allB.Total(); t > 0 {
 			baseFrac = float64(allB.FetchI+allB.FetchRD) / float64(t)
 		}
-		for li, n := range lengths {
-			m := c.MeasureVariant(a, fmt.Sprintf("critic-len-%d", n), cpu.DefaultConfig(), false)
+		for li := range lengths {
+			m := ms[1+li]
 			_, all, _ := c.critBreakdown(m)
 			var fetchSaved float64
 			if t := all.Total(); t > 0 && baseFrac > 0 {
@@ -116,10 +121,13 @@ func RunFig12b(c *Context) *Fig12bResult {
 	}
 	c.forEach(len(apps), func(i int) {
 		a := apps[i]
-		base := c.MeasureVariant(a, VarBase, cpu.DefaultConfig(), false)
-		for fi, f := range fracs {
-			m := c.MeasureVariant(a, fmt.Sprintf("critic-frac-%d", f), cpu.DefaultConfig(), false)
-			grid[fi][i] = Speedup(base, m)
+		units := []MeasureUnit{{VarBase, cpu.DefaultConfig()}}
+		for _, f := range fracs {
+			units = append(units, MeasureUnit{fmt.Sprintf("critic-frac-%d", f), cpu.DefaultConfig()})
+		}
+		ms := c.MeasureSweep(a, units, false)
+		for fi := range fracs {
+			grid[fi][i] = Speedup(ms[0], ms[1+fi])
 		}
 	})
 	out := &Fig12bResult{}

@@ -21,8 +21,18 @@ type Telemetry struct {
 	Pool *sched.PoolMetrics
 
 	// MeasureSeconds observes the wall time of each uncached Measure call
-	// (trace generation + DFG + warm-up + measured simulation).
+	// (trace generation + DFG + warm-up + measured simulation). A batched
+	// build observes once for the whole batch — the shared trace pass is
+	// the point of batching.
 	MeasureSeconds *telemetry.Histogram
+
+	// BatchedMeasurements counts measurements produced by the batched sweep
+	// path (MeasureBatch cache misses built in lockstep).
+	BatchedMeasurements *telemetry.Counter
+
+	// BatchLanes observes the lane count of each batched build — how much
+	// trace-generation sharing the sweeps actually get.
+	BatchLanes *telemetry.Histogram
 }
 
 // expSecondsBuckets cover 10ms..~5min experiment wall times.
@@ -45,6 +55,11 @@ func (c *Context) SetTelemetry(reg *telemetry.Registry) {
 		MeasureSeconds: reg.Histogram("critics_measure_seconds",
 			"Wall time of uncached measurement builds (trace+DFG+simulate).",
 			expSecondsBuckets),
+		BatchedMeasurements: reg.Counter("critics_measure_batched_total",
+			"Measurements built by the batched sweep path (lockstep lanes over a shared trace)."),
+		BatchLanes: reg.Histogram("critics_measure_batch_lanes",
+			"Lane count per batched measurement build.",
+			telemetry.LinearBuckets(1, 1, 16)),
 	}
 	registerMemo(reg, "programs", c.caches.progs)
 	registerMemo(reg, "profiles", c.caches.profs)

@@ -172,6 +172,31 @@ func (m *Memo[V]) GetChecked(k Key, build func() V, cost func(V) int64, valid fu
 	}
 }
 
+// Peek returns the retained value for k when a completed build is present,
+// without blocking on an in-flight build and without ever building. A
+// successful peek counts as a hit; an absent or still-building entry counts
+// nothing (the caller typically follows up with Get, which does the
+// accounting for the build it joins or starts). Batch planners use Peek to
+// split a key set into cached and to-be-built subsets before deciding how to
+// build the misses.
+func (m *Memo[V]) Peek(k Key) (V, bool) {
+	m.mu.Lock()
+	e, ok := m.entries[k]
+	m.mu.Unlock()
+	if ok {
+		select {
+		case <-e.done:
+			if !e.bad {
+				m.hits.Add(1)
+				return e.val, true
+			}
+		default:
+		}
+	}
+	var zero V
+	return zero, false
+}
+
 // runBuild executes build for entry e, tearing the entry down (marked bad,
 // removed, done closed) if build panics so single-flight waiters retry
 // instead of blocking forever; the panic then propagates to the builder's

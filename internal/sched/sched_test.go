@@ -87,6 +87,33 @@ func TestMemoSingleFlight(t *testing.T) {
 	}
 }
 
+func TestMemoPeek(t *testing.T) {
+	m := NewMemo[int](0)
+	k := KeyOf("x")
+	if _, ok := m.Peek(k); ok {
+		t.Error("peek hit on an empty memo")
+	}
+	// Peek must not block on an in-flight build.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go m.Get(k, func() int { close(started); <-release; return 7 }, nil)
+	<-started
+	if _, ok := m.Peek(k); ok {
+		t.Error("peek hit on an in-flight build")
+	}
+	close(release)
+	m.Get(k, func() int { return 7 }, nil) // join/observe the finished build
+	v, ok := m.Peek(k)
+	if !ok || v != 7 {
+		t.Errorf("peek after build = %d, %v; want 7, true", v, ok)
+	}
+	hitsBefore := m.Stats().Hits
+	m.Peek(k)
+	if m.Stats().Hits != hitsBefore+1 {
+		t.Error("successful peek did not count as a hit")
+	}
+}
+
 func TestMemoBudgetAdmission(t *testing.T) {
 	m := NewMemo[int](10)
 	cost := func(v int) int64 { return int64(v) }

@@ -43,6 +43,10 @@ commands:
   cancel       cancel a queued or running job (criticctl cancel <id>)
   bench        fire N concurrent jobs and report throughput and latency
   workers      print the distributed-execution fleet status (-dist daemons)
+  trace        fetch a job's span tree   (criticctl trace <id> [-chrome] [-o file])
+  events       print flight-recorder events (criticctl events [-job id])
+  slo          assert stage latency quantiles (criticctl slo -target e2e:p95<=2.5s)
+  top          one-shot fleet snapshot: jobs, stage latencies, workers
   apps         list the workload catalog
   experiments  list runnable experiment ids
 `)
@@ -119,6 +123,41 @@ func main() {
 		cmdBench(ctx, c, args)
 	case "workers":
 		cmdWorkers(ctx, c)
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		chrome := fs.Bool("chrome", false, "Chrome trace-event export (Perfetto-loadable) instead of the span tree")
+		out := fs.String("o", "", "write to this file instead of stdout")
+		id := parseID(fs, args)
+		format := ""
+		if *chrome {
+			format = "chrome"
+		}
+		raw, err := c.Trace(ctx, id, format)
+		if err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, raw, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace written to %s (%d bytes)\n", *out, len(raw))
+			return
+		}
+		os.Stdout.Write(raw)
+	case "events":
+		fs := flag.NewFlagSet("events", flag.ExitOnError)
+		jobID := fs.String("job", "", "filter to one job's events")
+		_ = fs.Parse(args)
+		raw, err := c.Events(ctx, *jobID)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(raw)
+		fmt.Println()
+	case "slo":
+		cmdSLO(ctx, c, args)
+	case "top":
+		cmdTop(ctx, c, args)
 	case "apps":
 		suites, err := c.Apps(ctx)
 		if err != nil {

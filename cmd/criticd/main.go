@@ -9,9 +9,16 @@
 //	criticd -queue 128 -jobs 4 -job-workers 8
 //	criticd -quick -job-timeout 2m         # reduced windows, tighter deadline
 //
-// Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}[/result], DELETE
-// /v1/jobs/{id}, GET /v1/apps, /v1/experiments, /healthz, /readyz,
-// /metrics. cmd/criticctl is the matching client.
+// Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}[/result|/trace], DELETE
+// /v1/jobs/{id}, GET /v1/apps, /v1/experiments, /debug/events, /healthz,
+// /readyz, /metrics. cmd/criticctl is the matching client.
+//
+// Observability (internal/obs): every job is traced (GET
+// /v1/jobs/{id}/trace, ?format=chrome for Perfetto), lifecycle events land
+// in the flight recorder (GET /debug/events?job=...), and stage latencies
+// (queue_wait/dispatch_rtt/compute/e2e) are exported with exemplar trace
+// ids for `criticctl slo` / `criticctl top`. -trace-out streams engine
+// spans to a file whose JSON document is completed on graceful drain.
 //
 // Distributed execution (internal/dist): -dist turns the daemon into a fleet
 // coordinator — jobs' measurement units are farmed out to workers, and the
@@ -55,12 +62,14 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "default per-job deadline (requests may set their own)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "grace for in-flight jobs at shutdown")
 		quick        = flag.Bool("quick", false, "force reduced-scale windows for every job")
+		traceOut     = flag.String("trace-out", "", "write engine-level Chrome trace-event JSON here, flushed complete on graceful drain")
 		verbose      = flag.Bool("v", false, "structured request/job log on stderr")
 
 		worker      = flag.Bool("worker", false, "run as a task-execution worker instead of a job daemon")
 		coordinator = flag.String("coordinator", "", "worker mode: coordinator base URL to register with")
 		advertise   = flag.String("advertise", "", "worker mode: base URL the coordinator should dial back (default http://<resolved addr>)")
 		capacity    = flag.Int("capacity", 2, "worker mode: tasks executed concurrently")
+		failFirst   = flag.Int("fail-first-tasks", 0, "worker mode: answer the first N tasks with an injected 500 (chaos hook for retry smoke tests)")
 
 		distMode    = flag.Bool("dist", false, "enable distributed execution (this daemon coordinates a worker fleet)")
 		distWorkers = flag.String("dist-workers", "", "comma-separated worker base URLs to register up-front (implies -dist)")
@@ -74,11 +83,36 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	if *worker {
-		runWorker(logger, *addr, *coordinator, *advertise, *capacity, *jobWorkers, *drainTimeout)
+		runWorker(logger, *addr, *coordinator, *advertise, *capacity, *jobWorkers, *failFirst, *drainTimeout)
 		return
 	}
 
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg, "criticd")
+
+	// The tracer streams spans for the daemon's whole lifetime; closeTrace
+	// terminates the JSON document. It runs after Shutdown on every exit
+	// path, so a SIGTERM drain never leaves a truncated trace behind.
+	closeTrace := func() {}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "criticd:", err)
+			os.Exit(1)
+		}
+		tracer = telemetry.NewTracer(f)
+		closeTrace = func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "criticd: closing trace:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "criticd: closing trace file:", err)
+			}
+			logger.Info("trace written", "path", *traceOut)
+		}
+	}
+
 	var coord *dist.Coordinator
 	if *distMode || *distWorkers != "" {
 		coord = dist.NewCoordinator(dist.Config{Registry: reg, Logger: logger})
@@ -95,6 +129,7 @@ func main() {
 		JobTimeout:  *jobTimeout,
 		QuickScale:  *quick,
 		Registry:    reg,
+		Tracer:      tracer,
 		Logger:      logger,
 		Coordinator: coord,
 	})
@@ -135,9 +170,11 @@ func main() {
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "criticd: drain incomplete:", err)
+		closeTrace() // in-flight jobs were cancelled; keep what was traced
 		_ = hs.Shutdown(context.Background())
 		os.Exit(1)
 	}
+	closeTrace()
 	if coord != nil {
 		if err := coord.Drain(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "criticd:", err)
@@ -153,13 +190,15 @@ func main() {
 // runWorker is criticd -worker: serve the dist task API, optionally announce
 // to a coordinator, and on SIGINT/SIGTERM deregister, finish in-flight tasks
 // and exit.
-func runWorker(logger *slog.Logger, addr, coordURL, advertise string, capacity, jobWorkers int, drainTimeout time.Duration) {
+func runWorker(logger *slog.Logger, addr, coordURL, advertise string, capacity, jobWorkers, failFirst int, drainTimeout time.Duration) {
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg, "criticd-worker")
 	wk := dist.NewWorker(dist.WorkerConfig{
-		Workers:  jobWorkers,
-		Capacity: capacity,
-		Registry: reg,
-		Logger:   logger,
+		Workers:        jobWorkers,
+		Capacity:       capacity,
+		Registry:       reg,
+		Logger:         logger,
+		FailFirstTasks: failFirst,
 	})
 
 	mux := http.NewServeMux()

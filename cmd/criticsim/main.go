@@ -56,6 +56,7 @@ func main() {
 	// The registry is always attached: it is free until scraped, and keeps
 	// -cache-stats and /metrics reading the same counters.
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg, "criticsim")
 	var opts []critics.Option
 	if *quick {
 		opts = append(opts, critics.WithQuickScale())

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"critics/internal/exp"
+	"critics/internal/obs"
 	"critics/internal/sched"
 	"critics/internal/telemetry"
 )
@@ -90,9 +91,10 @@ type workerState struct {
 // local pool so many units are on the wire at once). Construct with
 // NewCoordinator; stop with Drain then Close.
 type Coordinator struct {
-	cfg Config
-	log *slog.Logger
-	met *metrics // nil when cfg.Registry is nil
+	cfg  Config
+	log  *slog.Logger
+	met  *metrics      // nil when cfg.Registry is nil
+	obsv *obs.Observer // nil disables tracing/flight-recorder/SLO hooks
 
 	mu      sync.Mutex
 	workers map[string]*workerState
@@ -155,6 +157,29 @@ func NewCoordinator(cfg Config) *Coordinator {
 	c.heartbeatDone = make(chan struct{})
 	go c.heartbeatLoop(hbCtx)
 	return c
+}
+
+// SetObserver attaches the fleet observability layer: dispatch/retry/hedge
+// spans on job traces, flight-recorder events, and the dispatch_rtt SLO
+// stage. Call before serving traffic (it is not synchronized against
+// dispatches).
+func (c *Coordinator) SetObserver(o *obs.Observer) { c.obsv = o }
+
+// traceCtx is the per-dispatch trace handle threaded from MeasureRemote
+// down to post: the job's trace, the span new legs parent to, and the job
+// id for flight-recorder events. nil when the request carries no trace.
+type traceCtx struct {
+	t      *obs.Trace
+	parent string
+	job    string
+}
+
+// event appends a flight-recorder event when the observer is attached.
+func (c *Coordinator) event(tc *traceCtx, typ, detail string) {
+	if c.obsv == nil || tc == nil {
+		return
+	}
+	c.obsv.Ring.Append(tc.job, typ, detail)
 }
 
 // Close stops the heartbeat loop. It does not wait for in-flight tasks; call
@@ -386,25 +411,34 @@ func (c *Coordinator) MeasureRemote(ctx context.Context, req exp.MeasureRequest)
 	c.inflight.Add(1)
 	defer c.inflight.Done()
 
+	var tc *traceCtx
+	if t, parent, ok := obs.FromContext(ctx); ok && t != nil {
+		tc = &traceCtx{t: t, parent: parent, job: t.ID()}
+	}
+
 	task := Task{ID: c.nextTask.Add(1), Req: req}
 	start := time.Now()
-	m, err := c.dispatch(ctx, task)
+	m, err := c.dispatch(ctx, task, tc)
 	if err != nil {
 		if c.met != nil {
 			c.met.failed.Inc()
 		}
+		c.event(tc, obs.EvFallback, fmt.Sprintf("task %d: %v", task.ID, err))
 		c.log.Warn("task exhausted all attempts", "task", task.ID, "app", req.App.Name, "kind", req.Kind, "err", err)
 		return nil, err
 	}
 	if c.met != nil {
 		c.met.taskSecs.Observe(time.Since(start).Seconds())
 	}
+	if c.obsv != nil && tc != nil {
+		c.obsv.Stages.Observe(obs.StageDispatchRTT, time.Since(start).Seconds(), tc.job)
+	}
 	return m, nil
 }
 
 // dispatch runs the retry loop: pick a worker, try it (with hedging), and on
 // a transient failure back off exponentially and try a different one.
-func (c *Coordinator) dispatch(ctx context.Context, task Task) (*exp.Measurement, error) {
+func (c *Coordinator) dispatch(ctx context.Context, task Task, tc *traceCtx) (*exp.Measurement, error) {
 	exclude := make(map[string]bool)
 	var lastErr error
 	backoff := c.cfg.RetryBackoff
@@ -416,6 +450,7 @@ func (c *Coordinator) dispatch(ctx context.Context, task Task) (*exp.Measurement
 			if c.met != nil {
 				c.met.retried.Inc()
 			}
+			c.event(tc, obs.EvRetried, fmt.Sprintf("task %d attempt %d: %v", task.ID, attempt+1, lastErr))
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
@@ -434,7 +469,7 @@ func (c *Coordinator) dispatch(ctx context.Context, task Task) (*exp.Measurement
 			lastErr = errNoWorkers
 			continue
 		}
-		m, err := c.tryWorker(ctx, w, task, exclude)
+		m, err := c.tryWorker(ctx, w, task, exclude, tc, attempt+1)
 		if err == nil {
 			return m, nil
 		}
@@ -460,18 +495,56 @@ type attemptResult struct {
 // the loser's request context is cancelled. Both the primary and the hedge
 // share one TaskTimeout window. Workers that served a leg (success or
 // transient failure) are added to exclude so a retry goes elsewhere.
-func (c *Coordinator) tryWorker(ctx context.Context, w *workerState, task Task, exclude map[string]bool) (*exp.Measurement, error) {
+//
+// With a trace attached, every leg records a span under the dispatching
+// build: the primary leg of attempt N has id <parent>:aN named "dispatch"
+// (N == 1) or "retry" (N > 1); a hedge leg appends ":h". A successful leg
+// merges the worker's returned spans under its own span id, rebased into
+// the job trace's clock.
+func (c *Coordinator) tryWorker(ctx context.Context, w *workerState, task Task, exclude map[string]bool, tc *traceCtx, attempt int) (*exp.Measurement, error) {
 	attemptCtx, cancel := context.WithTimeout(ctx, c.cfg.TaskTimeout)
 	defer cancel()
 
 	results := make(chan attemptResult, 2)
 	leg := func(w *workerState, hedged bool) {
-		m, err := c.post(attemptCtx, w, task)
+		legID, name := "", ""
+		var t0 int64
+		if tc != nil {
+			legID = fmt.Sprintf("%s:a%d", tc.parent, attempt)
+			name = "dispatch"
+			if attempt > 1 {
+				name = "retry"
+			}
+			if hedged {
+				legID += ":h"
+				name = "hedge"
+			}
+			t0 = tc.t.Now()
+		}
+		traceID := ""
+		if tc != nil {
+			traceID = tc.job
+		}
+		m, spans, err := c.post(attemptCtx, w, task, traceID, legID)
+		if tc != nil {
+			attrs := []obs.Attr{obs.A("worker", w.url)}
+			if err != nil {
+				attrs = append(attrs, obs.A("error", err.Error()))
+			}
+			tc.t.Add(obs.Span{
+				ID: legID, Parent: tc.parent, Name: name,
+				StartUS: t0, DurUS: tc.t.Now() - t0, Attrs: attrs,
+			})
+			if err == nil {
+				tc.t.Merge(legID, w.url, t0, spans)
+			}
+		}
 		results <- attemptResult{m: m, err: err, worker: w, hedged: hedged}
 	}
 
 	exclude[w.url] = true
 	outstanding := 1
+	c.event(tc, obs.EvDispatched, fmt.Sprintf("task %d -> %s", task.ID, w.url))
 	go leg(w, false)
 
 	var hedgeC <-chan time.Time
@@ -495,6 +568,7 @@ func (c *Coordinator) tryWorker(ctx context.Context, w *workerState, task Task, 
 			if c.met != nil {
 				c.met.hedged.Inc()
 			}
+			c.event(tc, obs.EvHedged, fmt.Sprintf("task %d slow on %s -> %s", task.ID, w.url, hw.url))
 			c.log.Info("hedging straggler", "task", task.ID, "slow", w.url, "hedge", hw.url)
 			go leg(hw, true)
 		case r := <-results:
@@ -522,17 +596,23 @@ func (c *Coordinator) tryWorker(ctx context.Context, w *workerState, task Task, 
 // post performs one HTTP task round-trip against a worker and classifies the
 // outcome: 200 → measurement; 4xx → permanent; anything else (5xx, transport
 // error, timeout) → transient, and the worker is marked unhealthy so the
-// heartbeat, not the dispatch path, decides when it is trusted again.
-func (c *Coordinator) post(ctx context.Context, w *workerState, task Task) (*exp.Measurement, error) {
+// heartbeat, not the dispatch path, decides when it is trusted again. A
+// non-empty legID propagates trace context on the wire (the worker records
+// its spans against it and returns them in the result).
+func (c *Coordinator) post(ctx context.Context, w *workerState, task Task, traceID, legID string) (*exp.Measurement, []obs.Span, error) {
 	body, err := json.Marshal(task)
 	if err != nil {
-		return nil, errPermanent{fmt.Errorf("dist: encoding task: %w", err)}
+		return nil, nil, errPermanent{fmt.Errorf("dist: encoding task: %w", err)}
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+TaskPath, bytes.NewReader(body))
 	if err != nil {
-		return nil, errPermanent{err}
+		return nil, nil, errPermanent{err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if legID != "" {
+		req.Header.Set(obs.TraceHeader, traceID)
+		req.Header.Set(obs.ParentHeader, legID)
+	}
 
 	w.inflightN.Add(1)
 	if w.inflightG != nil {
@@ -552,7 +632,7 @@ func (c *Coordinator) post(ctx context.Context, w *workerState, task Task) (*exp
 	if err != nil {
 		w.failures.Add(1)
 		c.markUnhealthy(w.url)
-		return nil, fmt.Errorf("dist: posting task %d to %s: %w", task.ID, w.url, err)
+		return nil, nil, fmt.Errorf("dist: posting task %d to %s: %w", task.ID, w.url, err)
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
@@ -565,23 +645,23 @@ func (c *Coordinator) post(ctx context.Context, w *workerState, task Task) (*exp
 		err := fmt.Errorf("dist: worker %s answered %s for task %d: %s", w.url, resp.Status, task.ID, eb.Error)
 		w.failures.Add(1)
 		if resp.StatusCode/100 == 4 {
-			return nil, errPermanent{err}
+			return nil, nil, errPermanent{err}
 		}
 		c.markUnhealthy(w.url)
-		return nil, err
+		return nil, nil, err
 	}
 
 	var tr TaskResult
 	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
 		w.failures.Add(1)
 		c.markUnhealthy(w.url)
-		return nil, fmt.Errorf("dist: decoding task %d result from %s: %w", task.ID, w.url, err)
+		return nil, nil, fmt.Errorf("dist: decoding task %d result from %s: %w", task.ID, w.url, err)
 	}
 	w.tasksDone.Add(1)
 	if w.tasksTotal != nil {
 		w.tasksTotal.Inc()
 	}
-	return tr.measurement(), nil
+	return tr.measurement(), tr.Spans, nil
 }
 
 // Map implements sched.Mapper by running shard closures on a local pool wide

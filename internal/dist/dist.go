@@ -47,6 +47,7 @@ package dist
 import (
 	"critics/internal/cpu"
 	"critics/internal/exp"
+	"critics/internal/obs"
 	"critics/internal/trace"
 )
 
@@ -79,11 +80,18 @@ type TaskResult struct {
 	Agg     exp.WindowAgg `json:"agg"`
 	Dyns    []trace.Dyn   `json:"dyns,omitempty"`
 	Fanouts []int32       `json:"fanouts,omitempty"`
+
+	// Spans are the worker-side trace spans of this task (remote compute
+	// plus its memo builds), present only when the request carried the
+	// obs trace headers. Timestamps are microseconds in the worker's task
+	// clock; the coordinator rebases them into the job trace on merge.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
-// resultOf converts a measurement to its wire form.
-func resultOf(m *exp.Measurement) TaskResult {
-	return TaskResult{Res: m.Res, Agg: m.Agg, Dyns: m.Dyns, Fanouts: m.Fanouts}
+// resultOf converts a measurement (plus any recorded spans) to its wire
+// form.
+func resultOf(m *exp.Measurement, spans []obs.Span) TaskResult {
+	return TaskResult{Res: m.Res, Agg: m.Agg, Dyns: m.Dyns, Fanouts: m.Fanouts, Spans: spans}
 }
 
 // measurement converts the wire form back.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"critics/internal/exp"
+	"critics/internal/obs"
 	"critics/internal/telemetry"
 )
 
@@ -39,6 +40,11 @@ type WorkerConfig struct {
 
 	// Logger receives structured task logs; nil discards them.
 	Logger *slog.Logger
+
+	// FailFirstTasks makes the worker answer its first N tasks with an
+	// injected 500 — a chaos hook for exercising the coordinator's retry
+	// path in smoke tests. 0 (the default) disables it.
+	FailFirstTasks int
 }
 
 // Worker executes measurement tasks against a shared cache bundle — the
@@ -48,9 +54,10 @@ type Worker struct {
 	cfg WorkerConfig
 	log *slog.Logger
 
-	slots    chan struct{} // admission semaphore, Capacity wide
-	inflight sync.WaitGroup
-	draining atomic.Bool
+	slots     chan struct{} // admission semaphore, Capacity wide
+	inflight  sync.WaitGroup
+	draining  atomic.Bool
+	failFirst atomic.Int64 // remaining injected failures (FailFirstTasks)
 
 	tasksDone *telemetry.Counter
 	tasksErr  *telemetry.Counter
@@ -70,6 +77,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 4}))
 	}
 	w := &Worker{cfg: cfg, log: log, slots: make(chan struct{}, cfg.Capacity)}
+	w.failFirst.Store(int64(cfg.FailFirstTasks))
 	if reg := cfg.Registry; reg != nil {
 		w.tasksDone = reg.Counter("critics_dist_worker_tasks_executed_total",
 			"Tasks executed successfully by this worker.")
@@ -135,6 +143,16 @@ func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusBadRequest, errorBody{Error: "malformed task: " + err.Error()})
 		return
 	}
+	if w.cfg.FailFirstTasks > 0 && w.failFirst.Add(-1) >= 0 {
+		// Injected transient failure: 500 sends the coordinator to another
+		// worker via its retry path.
+		if w.tasksErr != nil {
+			w.tasksErr.Inc()
+		}
+		w.log.Warn("injecting task failure", "task", task.ID)
+		writeJSON(rw, http.StatusInternalServerError, errorBody{Error: "injected failure (fail-first-tasks)"})
+		return
+	}
 
 	// Admission: wait for a slot or for the dispatcher to give up.
 	select {
@@ -154,8 +172,18 @@ func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
 		<-w.slots
 	}()
 
+	// Trace propagation: when the coordinator sent trace headers, record the
+	// task's compute (and its memo builds, via the context) on a fresh trace
+	// whose spans ride back in the result for the coordinator to merge.
+	ctx := r.Context()
+	var wt *obs.Trace
+	if traceID := r.Header.Get(obs.TraceHeader); traceID != "" {
+		wt = obs.NewTrace(traceID)
+		ctx = obs.ContextWith(ctx, wt, "c")
+	}
+
 	start := time.Now()
-	m, err := w.execute(r.Context(), task)
+	m, err := w.execute(ctx, task)
 	if err != nil {
 		if w.tasksErr != nil {
 			w.tasksErr.Inc()
@@ -175,7 +203,16 @@ func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
 	}
 	w.log.Info("task done", "task", task.ID, "app", task.Req.App.Name, "kind", task.Req.Kind,
 		"seconds", time.Since(start).Seconds())
-	writeJSON(rw, http.StatusOK, resultOf(m))
+	var spans []obs.Span
+	if wt != nil {
+		wt.Add(obs.Span{
+			ID: "c", Name: "remote-compute",
+			StartUS: 0, DurUS: wt.Now(),
+			Attrs: []obs.Attr{obs.A("app", task.Req.App.Name), obs.A("kind", task.Req.Kind)},
+		})
+		spans, _ = wt.Snapshot()
+	}
+	writeJSON(rw, http.StatusOK, resultOf(m, spans))
 }
 
 // errBadTask marks a task the pipeline rejected (e.g. an unknown variant

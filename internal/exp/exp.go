@@ -26,6 +26,7 @@ import (
 	"critics/internal/core"
 	"critics/internal/cpu"
 	"critics/internal/dfg"
+	"critics/internal/obs"
 	"critics/internal/prog"
 	"critics/internal/sched"
 	"critics/internal/telemetry"
@@ -502,11 +503,18 @@ func (c *Context) MeasureVariant(a workload.App, kind string, cfg cpu.Config, co
 	kcfg.Metrics = nil
 	key := sched.KeyOf("meas", a.Params, kind, kcfg, collect,
 		c.Seed, c.WarmupArch, c.WarmArch, c.MeasureArch, c.ProfilePlan, c.HighFanout)
-	return memoGet(c, c.caches.meas, "measure "+a.Params.Name+"/"+kind, key, func() *Measurement {
+	label := "measure " + a.Params.Name + "/" + kind
+	return memoGet(c, c.caches.meas, label, key, func() *Measurement {
+		remoteFailed := false
 		if c.remote != nil {
 			ctx := c.runCtx
 			if ctx == nil {
 				ctx = context.Background()
+			}
+			// Re-parent the trace context onto this build's span so the
+			// dispatch/retry spans the remote records hang under it.
+			if t, _, ok := obs.FromContext(ctx); ok {
+				ctx = obs.ContextWith(ctx, t, obs.BuildSpanID(label, keyHex8(key)))
 			}
 			m, err := c.remote.MeasureRemote(ctx, MeasureRequest{
 				App: a.Params, Kind: kind, Config: kcfg, Collect: collect,
@@ -525,6 +533,19 @@ func (c *Context) MeasureVariant(a workload.App, kind string, cfg cpu.Config, co
 			// The fleet could not serve the task (drained, all workers
 			// down, retries exhausted): compute locally so the run still
 			// completes. Remote implementations account the fallback.
+			remoteFailed = true
+		}
+		if remoteFailed {
+			if t, _, ok := obs.FromContext(c.runCtx); ok {
+				t0 := t.Now()
+				defer func() {
+					t.Add(obs.Span{
+						ID:     obs.BuildSpanID(label, keyHex8(key)) + ":lf",
+						Parent: obs.BuildSpanID(label, keyHex8(key)),
+						Name:   "local-fallback", StartUS: t0, DurUS: t.Now() - t0,
+					})
+				}()
+			}
 		}
 		p, _ := c.Variant(a, kind)
 		return c.Measure(p, cfg, collect)

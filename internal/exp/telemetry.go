@@ -1,7 +1,10 @@
 package exp
 
 import (
+	"encoding/hex"
+
 	"critics/internal/cpu"
+	"critics/internal/obs"
 	"critics/internal/sched"
 	"critics/internal/telemetry"
 )
@@ -115,12 +118,39 @@ func memoGet[V any](c *Context, m *sched.Memo[V], span string, key sched.Key, bu
 		return zero
 	}
 	tr := c.tracer
-	if tr == nil {
+	ot, oparent, obsOn := obs.FromContext(c.runCtx)
+	if tr == nil && !obsOn {
 		v, _ := m.GetChecked(key, build, cost, valid)
 		return v
 	}
-	t0 := tr.Now()
+	var t0, o0 int64
+	if tr != nil {
+		t0 = tr.Now()
+	}
+	if obsOn {
+		o0 = ot.Now()
+	}
 	v, hit := m.GetChecked(key, build, cost, valid)
-	tr.Span(telemetry.EnginePID, span, "memo", t0, tr.Now()-t0, telemetry.Bool("hit", hit))
+	if tr != nil {
+		tr.Span(telemetry.EnginePID, span, "memo", t0, tr.Now()-t0, telemetry.Bool("hit", hit))
+	}
+	if obsOn {
+		// Hits only bump the trace's memo counters; the builder (hit=false)
+		// records a span whose id derives from the content key, so the span
+		// set of a run is reproducible regardless of shard scheduling.
+		if hit {
+			ot.MemoHit()
+		} else {
+			ot.MemoMiss()
+			ot.Add(obs.Span{
+				ID: obs.BuildSpanID(span, keyHex8(key)), Parent: oparent,
+				Name: span, StartUS: o0, DurUS: ot.Now() - o0,
+			})
+		}
+	}
 	return v
 }
+
+// keyHex8 is the first 8 hex digits of a memo key — enough to make
+// same-label build spans distinct within one job's trace.
+func keyHex8(k sched.Key) string { return hex.EncodeToString(k[:4]) }

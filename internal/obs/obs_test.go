@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"critics/internal/telemetry"
+)
+
+// TestTraceTreeDeterministic adds spans in two different orders and checks
+// the tree documents are identical modulo nothing — same spans, same ids,
+// same structure — the byte-stability property the trace endpoint relies
+// on.
+func TestTraceTreeDeterministic(t *testing.T) {
+	spans := []Span{
+		{ID: "job", Name: "job", StartUS: 0, DurUS: 100},
+		{ID: "queue", Parent: "job", Name: "queue-wait", StartUS: 0, DurUS: 10},
+		{ID: "compute", Parent: "job", Name: "compute", StartUS: 10, DurUS: 90},
+		{ID: "b:measure a/base#11aa22bb", Parent: "compute", Name: "build", StartUS: 12, DurUS: 40},
+		{ID: "b:measure a/base#11aa22bb:a1", Parent: "b:measure a/base#11aa22bb", Name: "dispatch", StartUS: 13, DurUS: 20},
+		{ID: "b:measure a/base#11aa22bb:a2", Parent: "b:measure a/base#11aa22bb", Name: "retry", StartUS: 35, DurUS: 10},
+	}
+	marshal := func(order []int) string {
+		tr := NewTrace("j1")
+		for _, i := range order {
+			tr.Add(spans[i])
+		}
+		b, err := json.Marshal(tr.Tree())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a := marshal([]int{0, 1, 2, 3, 4, 5})
+	b := marshal([]int{5, 3, 1, 4, 2, 0})
+	if a != b {
+		t.Errorf("tree depends on insertion order:\n%s\n%s", a, b)
+	}
+	var doc TraceDoc
+	if err := json.Unmarshal([]byte(a), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].ID != "job" {
+		t.Fatalf("want single root 'job', got %s", a)
+	}
+	if len(doc.Spans[0].Children) != 2 {
+		t.Fatalf("job children = %d, want 2 (compute, queue)", len(doc.Spans[0].Children))
+	}
+	// Sibling order is id order, not time order.
+	if doc.Spans[0].Children[0].ID != "compute" {
+		t.Errorf("first child = %s, want compute", doc.Spans[0].Children[0].ID)
+	}
+}
+
+// TestTraceMerge checks worker spans land under the dispatch span with
+// prefixed ids, rebased timestamps and the worker site stamped on.
+func TestTraceMerge(t *testing.T) {
+	tr := NewTrace("j2")
+	tr.Add(Span{ID: "d:a1", Name: "dispatch", StartUS: 1000, DurUS: 500})
+	tr.Merge("d:a1", "http://w1:9721", 1000, []Span{
+		{ID: "c", Name: "remote-compute", StartUS: 5, DurUS: 400},
+		{ID: "c/b:x#00ff00ff", Parent: "c", Name: "build", StartUS: 10, DurUS: 300},
+	})
+	spans, _ := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	byID := map[string]Span{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	c, ok := byID["d:a1/c"]
+	if !ok || c.Parent != "d:a1" || c.StartUS != 1005 || c.Site != "http://w1:9721" {
+		t.Errorf("merged compute span wrong: %+v", c)
+	}
+	n, ok := byID["d:a1/c/b:x#00ff00ff"]
+	if !ok || n.Parent != "d:a1/c" {
+		t.Errorf("merged nested span wrong: %+v", n)
+	}
+}
+
+// TestTraceBounded checks the span store stops at maxSpans and counts the
+// overflow instead of growing.
+func TestTraceBounded(t *testing.T) {
+	tr := NewTrace("j3")
+	for i := 0; i < maxSpans+10; i++ {
+		tr.Add(Span{ID: "s", Name: "s"})
+	}
+	spans, dropped := tr.Snapshot()
+	if len(spans) != maxSpans || dropped != 10 {
+		t.Errorf("spans=%d dropped=%d, want %d/10", len(spans), dropped, maxSpans)
+	}
+}
+
+// TestTraceChromeExport checks the Perfetto export is valid JSON with one
+// event per span plus process metadata.
+func TestTraceChromeExport(t *testing.T) {
+	tr := NewTrace("j4")
+	tr.Add(Span{ID: "job", Name: "job", StartUS: 0, DurUS: 50})
+	tr.Add(Span{ID: "compute", Parent: "job", Name: "compute", Site: "http://w1", StartUS: 5, DurUS: 40,
+		Attrs: []Attr{A("kind", "optimize")}})
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 3 { // process_name meta + 2 spans
+		t.Errorf("events = %d, want 3", len(doc.TraceEvents))
+	}
+}
+
+// TestRingConcurrent hammers the flight recorder from many goroutines with
+// concurrent snapshots — the lock-freedom proof under -race.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Append("job-"+string(rune('a'+g)), EvDispatched, "w1")
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = r.Snapshot("")
+		}
+	}()
+	wg.Wait()
+	all := r.Snapshot("")
+	if len(all) != 64 {
+		t.Errorf("retained = %d, want 64 (ring size)", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq <= all[i-1].Seq {
+			t.Errorf("snapshot not seq-ordered at %d", i)
+		}
+	}
+	one := r.Snapshot("job-a")
+	for _, e := range one {
+		if e.Job != "job-a" {
+			t.Errorf("filter leaked %q", e.Job)
+		}
+	}
+}
+
+// TestContextPropagation round-trips the trace through a context.
+func TestContextPropagation(t *testing.T) {
+	if _, _, ok := FromContext(context.Background()); ok {
+		t.Error("empty context reported a trace")
+	}
+	if _, _, ok := FromContext(nil); ok {
+		t.Error("nil context reported a trace")
+	}
+	tr := NewTrace("j5")
+	ctx := ContextWith(context.Background(), tr, "compute")
+	got, parent, ok := FromContext(ctx)
+	if !ok || got != tr || parent != "compute" {
+		t.Errorf("FromContext = (%v, %q, %v)", got, parent, ok)
+	}
+	if ContextWith(context.Background(), nil, "x") != context.Background() {
+		t.Error("nil trace should leave ctx unchanged")
+	}
+}
+
+// TestParseTarget covers the slo target grammar.
+func TestParseTarget(t *testing.T) {
+	tg, err := ParseTarget("e2e:p95<=2.5s")
+	if err != nil || tg.Stage != "e2e" || tg.Q != 0.95 || tg.Bound != 2.5 {
+		t.Errorf("ParseTarget = %+v, %v", tg, err)
+	}
+	tg, err = ParseTarget("queue_wait:p50<=100ms")
+	if err != nil || tg.Stage != "queue_wait" || tg.Q != 0.50 || tg.Bound != 0.1 {
+		t.Errorf("ParseTarget = %+v, %v", tg, err)
+	}
+	for _, bad := range []string{"", "e2e", "e2e:95<=1s", "e2e:p95<=x", "e2e:p0<=1s", ":p95<=1s", "e2e:p101<=1s"} {
+		if _, err := ParseTarget(bad); err == nil {
+			t.Errorf("ParseTarget(%q) accepted", bad)
+		}
+	}
+}
+
+// TestQuantileAndEvaluate checks the bucket-quantile estimate and the
+// violation logic end to end over a real registry scrape.
+func TestQuantileAndEvaluate(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st := NewStages(reg)
+	// 90 fast (≤4ms bucket), 10 slow (≤1.024s bucket): p50 estimates 0.004,
+	// p95 estimates 1.024.
+	for i := 0; i < 90; i++ {
+		st.Observe(StageE2E, 0.002, "fast-job")
+	}
+	for i := 0; i < 10; i++ {
+		st.Observe(StageE2E, 0.9, "slow-job")
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stages := ParseStageHistograms(buf.String(), SLOFamily, "stage")
+	cdf := stages[StageE2E]
+	if cdf == nil {
+		t.Fatalf("no e2e stage parsed from:\n%s", buf.String())
+	}
+	if cdf.Count() != 100 {
+		t.Errorf("count = %d, want 100", cdf.Count())
+	}
+	if q := cdf.Quantile(0.50); q != 0.004 {
+		t.Errorf("p50 = %g, want 0.004", q)
+	}
+	if q := cdf.Quantile(0.95); q != 1.024 {
+		t.Errorf("p95 = %g, want 1.024", q)
+	}
+	// Generous target passes.
+	v, err := Evaluate([]Target{{Stage: StageE2E, Q: 0.95, Bound: 60}}, stages)
+	if err != nil || len(v) != 0 {
+		t.Errorf("generous target: violations=%v err=%v", v, err)
+	}
+	// Tight target fails with the slow exemplar attached.
+	v, err = Evaluate([]Target{{Stage: StageE2E, Q: 0.95, Bound: 0.01}}, stages)
+	if err != nil || len(v) != 1 {
+		t.Fatalf("tight target: violations=%v err=%v", v, err)
+	}
+	if v[0].Exemplar != "slow-job" {
+		t.Errorf("violation exemplar = %q, want slow-job", v[0].Exemplar)
+	}
+	if !strings.Contains(v[0].String(), "e2e p95") {
+		t.Errorf("violation string = %q", v[0].String())
+	}
+	// Asserting on a stage with no data errors instead of passing.
+	if _, err := Evaluate([]Target{{Stage: "nope", Q: 0.5, Bound: 1}}, stages); err == nil {
+		t.Error("missing stage should error")
+	}
+}
+
+// TestQuantileEdgeCases pins the +Inf and empty behaviors.
+func TestQuantileEdgeCases(t *testing.T) {
+	empty := &BucketCDF{Bounds: []float64{1, math.Inf(1)}, Counts: []int64{0, 0}, Exemplars: []string{"", ""}}
+	if q := empty.Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty quantile = %g, want NaN", q)
+	}
+	over := &BucketCDF{Bounds: []float64{1, math.Inf(1)}, Counts: []int64{0, 5}, Exemplars: []string{"", "j9"}}
+	if q := over.Quantile(0.5); !math.IsInf(q, 1) {
+		t.Errorf("overflow quantile = %g, want +Inf", q)
+	}
+	if ex := over.ExemplarNear(0.5); ex != "j9" {
+		t.Errorf("overflow exemplar = %q, want j9", ex)
+	}
+}
+
+// TestMetricValue covers the generic sample reader criticctl top uses.
+func TestMetricValue(t *testing.T) {
+	text := `# HELP critics_server_queue_depth x
+# TYPE critics_server_queue_depth gauge
+critics_server_queue_depth 3
+critics_dist_worker_inflight{worker="http://w1:9721"} 2
+critics_server_jobs_total{outcome="succeeded"} 9
+critics_server_jobs_total{outcome="failed"} 2
+critics_slo_stage_seconds_bucket{stage="e2e",le="+Inf"} 4 # {trace_id="j3"} 300
+`
+	if v, ok := MetricValue(text, "critics_server_queue_depth", nil); !ok || v != 3 {
+		t.Errorf("queue depth = %g, %v", v, ok)
+	}
+	if v, ok := MetricValue(text, "critics_dist_worker_inflight", map[string]string{"worker": "http://w1:9721"}); !ok || v != 2 {
+		t.Errorf("inflight = %g, %v", v, ok)
+	}
+	if _, ok := MetricValue(text, "critics_dist_worker_inflight", map[string]string{"worker": "http://w2"}); ok {
+		t.Error("label mismatch matched")
+	}
+	if sum := MetricSum(text, "critics_server_jobs_total"); sum != 11 {
+		t.Errorf("jobs sum = %g, want 11", sum)
+	}
+	// The exemplar-annotated line still parses.
+	if v, ok := MetricValue(text, "critics_slo_stage_seconds_bucket", map[string]string{"le": "+Inf"}); !ok || v != 4 {
+		t.Errorf("bucket with exemplar = %g, %v", v, ok)
+	}
+}
+
+// TestRecorderEviction checks the recorder retains at most its capacity,
+// oldest first out, and Start is idempotent per job.
+func TestRecorderEviction(t *testing.T) {
+	r := NewRecorder(2)
+	t1 := r.Start("j1")
+	if r.Start("j1") != t1 {
+		t.Error("Start not idempotent")
+	}
+	r.Start("j2")
+	r.Start("j3")
+	if r.Get("j1") != nil {
+		t.Error("j1 should be evicted")
+	}
+	if r.Get("j3") == nil || r.Get("j2") == nil {
+		t.Error("recent traces missing")
+	}
+}
+
+// TestObserverNil checks every pillar tolerates the disabled state.
+func TestObserverNil(t *testing.T) {
+	var s *Stages
+	s.Observe(StageE2E, 1, "j") // must not panic
+	if NewStages(nil) != nil {
+		t.Error("NewStages(nil) should be nil")
+	}
+	o := NewObserver(nil)
+	if o.Rec == nil || o.Ring == nil {
+		t.Error("observer pillars missing")
+	}
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the client-side half of the SLO pillar: a minimal Prometheus
+// text-format reader sufficient for `criticctl slo` and `criticctl top` to
+// interrogate a /metrics scrape without any external dependency. It handles
+// exactly what internal/telemetry emits: "name{labels} value" samples,
+// optional " # {trace_id=...} v" exemplar annotations, and comment lines.
+
+// sortStrings is a local alias so slo.go need not import sort itself.
+func sortStrings(s []string) { sort.Strings(s) }
+
+// ParseStageHistograms extracts the <family>_bucket series from a metrics
+// exposition, keyed by the given label's value. Returns one BucketCDF per
+// key with bounds ascending (+Inf last) and cumulative counts.
+func ParseStageHistograms(text, family, label string) map[string]*BucketCDF {
+	type sample struct {
+		le       float64
+		count    int64
+		exemplar string
+	}
+	byKey := map[string][]sample{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	prefix := family + "_bucket{"
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		name, labels, value, exemplar, ok := parseSample(line)
+		if !ok || name != family+"_bucket" {
+			continue
+		}
+		key := labels[label]
+		leStr, ok := labels["le"]
+		if !ok {
+			continue
+		}
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			v, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				continue
+			}
+			le = v
+		}
+		count, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			continue
+		}
+		byKey[key] = append(byKey[key], sample{le: le, count: count, exemplar: exemplar})
+	}
+	out := make(map[string]*BucketCDF, len(byKey))
+	for key, ss := range byKey {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].le < ss[j].le })
+		cdf := &BucketCDF{
+			Bounds:    make([]float64, len(ss)),
+			Counts:    make([]int64, len(ss)),
+			Exemplars: make([]string, len(ss)),
+		}
+		for i, s := range ss {
+			cdf.Bounds[i] = s.le
+			cdf.Counts[i] = s.count
+			cdf.Exemplars[i] = s.exemplar
+		}
+		out[key] = cdf
+	}
+	return out
+}
+
+// MetricValue returns the value of the first sample whose name matches and
+// whose labels contain every pair in want (nil matches any labels).
+func MetricValue(text, name string, want map[string]string) (float64, bool) {
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		n, labels, value, _, ok := parseSample(line)
+		if !ok || n != name {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// MetricSum sums every sample of a family across its label sets — e.g. all
+// outcomes of critics_server_jobs_total.
+func MetricSum(text, name string) float64 {
+	var sum float64
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		n, _, value, _, ok := parseSample(sc.Text())
+		if !ok || n != name {
+			continue
+		}
+		if v, err := strconv.ParseFloat(value, 64); err == nil {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// parseSample splits one exposition line into name, label map, value and
+// exemplar trace id. Comment and blank lines report ok=false.
+func parseSample(line string) (name string, labels map[string]string, value, exemplar string, ok bool) {
+	if line == "" || strings.HasPrefix(line, "#") {
+		return "", nil, "", "", false
+	}
+	// Strip a trailing exemplar annotation: `... # {trace_id="j1"} 0.43`.
+	if body, ex, found := strings.Cut(line, " # "); found {
+		line = body
+		if rest, fnd := strings.CutPrefix(ex, `{trace_id="`); fnd {
+			if id, _, fnd2 := strings.Cut(rest, `"`); fnd2 {
+				exemplar = id
+			}
+		}
+	}
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return "", nil, "", "", false
+	}
+	name = line[:nameEnd]
+	rest := line[nameEnd:]
+	labels = map[string]string{}
+	if rest[0] == '{' {
+		close := strings.Index(rest, "}")
+		if close < 0 {
+			return "", nil, "", "", false
+		}
+		for _, pair := range splitLabelPairs(rest[1:close]) {
+			k, v, found := strings.Cut(pair, "=")
+			if !found {
+				continue
+			}
+			labels[k] = unquoteLabel(v)
+		}
+		rest = rest[close+1:]
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" {
+		return "", nil, "", "", false
+	}
+	return name, labels, value, exemplar, true
+}
+
+// splitLabelPairs splits `k1="v1",k2="v2"` on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip escaped char
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// unquoteLabel strips surrounding quotes and unescapes \" \\ \n.
+func unquoteLabel(v string) string {
+	v = strings.TrimPrefix(v, `"`)
+	v = strings.TrimSuffix(v, `"`)
+	r := strings.NewReplacer(`\"`, `"`, `\\`, `\`, `\n`, "\n")
+	return r.Replace(v)
+}

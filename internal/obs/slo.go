@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"critics/internal/telemetry"
+)
+
+// SLOFamily is the stage-latency histogram family name; its exposition
+// shape (including exemplars) is pinned by the telemetry golden test.
+const SLOFamily = "critics_slo_stage_seconds"
+
+// Stage labels observed by server (queue_wait, compute, e2e) and the dist
+// coordinator (dispatch_rtt).
+const (
+	StageQueueWait   = "queue_wait"
+	StageDispatchRTT = "dispatch_rtt"
+	StageCompute     = "compute"
+	StageE2E         = "e2e"
+)
+
+// sloBuckets cover 1ms..~260s — queue waits through full experiment jobs.
+var sloBuckets = telemetry.ExpBuckets(0.001, 4, 10)
+
+// Stages observes stage-level job latencies with exemplar trace ids, the
+// raw material for `criticctl slo`. A nil *Stages (or one built over a nil
+// registry) discards observations.
+type Stages struct {
+	reg *telemetry.Registry
+}
+
+// NewStages builds the stage observer on reg (nil disables it).
+func NewStages(reg *telemetry.Registry) *Stages {
+	if reg == nil {
+		return nil
+	}
+	return &Stages{reg: reg}
+}
+
+// Observe records one stage latency, attaching traceID as the bucket's
+// exemplar so a slow bucket points at a concrete job trace.
+func (s *Stages) Observe(stage string, seconds float64, traceID string) {
+	if s == nil {
+		return
+	}
+	s.reg.Histogram(SLOFamily, "Job latency by stage.", sloBuckets,
+		telemetry.L("stage", stage)).ObserveExemplar(seconds, traceID)
+}
+
+// Target is one parsed SLO assertion: quantile Q of a stage's latency must
+// not exceed Bound seconds.
+type Target struct {
+	Stage string
+	Q     float64 // e.g. 0.95
+	Bound float64 // seconds
+}
+
+// ParseTarget parses "stage:pN<=dur", e.g. "e2e:p95<=2.5s",
+// "queue_wait:p50<=100ms".
+func ParseTarget(s string) (Target, error) {
+	stage, rest, ok := strings.Cut(s, ":")
+	if !ok || stage == "" {
+		return Target{}, fmt.Errorf("slo target %q: want stage:pN<=duration", s)
+	}
+	q, bound, ok := strings.Cut(rest, "<=")
+	if !ok || !strings.HasPrefix(q, "p") {
+		return Target{}, fmt.Errorf("slo target %q: want stage:pN<=duration", s)
+	}
+	pct, err := strconv.ParseFloat(q[1:], 64)
+	if err != nil || pct <= 0 || pct > 100 {
+		return Target{}, fmt.Errorf("slo target %q: bad percentile %q", s, q)
+	}
+	d, err := time.ParseDuration(bound)
+	if err != nil || d <= 0 {
+		return Target{}, fmt.Errorf("slo target %q: bad duration %q", s, bound)
+	}
+	return Target{Stage: stage, Q: pct / 100, Bound: d.Seconds()}, nil
+}
+
+// BucketCDF is one histogram series in scraped form: ascending upper bounds
+// (the last is +Inf) with cumulative counts, as parsed from /metrics text.
+type BucketCDF struct {
+	Bounds []float64 // upper bounds; Bounds[len-1] is math.Inf(1)
+	Counts []int64   // cumulative, same length
+	// Exemplars holds the trace id annotated on each bucket ("" = none).
+	Exemplars []string
+}
+
+// Count returns total observations (the +Inf cumulative count).
+func (b *BucketCDF) Count() int64 {
+	if len(b.Counts) == 0 {
+		return 0
+	}
+	return b.Counts[len(b.Counts)-1]
+}
+
+// Quantile returns the standard histogram estimate of quantile q: the upper
+// bound of the bucket containing the rank (a conservative over-estimate,
+// +Inf when the rank lands in the overflow bucket). NaN with no
+// observations.
+func (b *BucketCDF) Quantile(q float64) float64 {
+	total := b.Count()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	for i, c := range b.Counts {
+		if c >= rank {
+			return b.Bounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// ExemplarNear returns the exemplar trace id of the first bucket at or
+// beyond where quantile q lands — the concrete slow job behind a violated
+// target ("" when no exemplar was recorded that high).
+func (b *BucketCDF) ExemplarNear(q float64) string {
+	total := b.Count()
+	if total == 0 {
+		return ""
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	for i, c := range b.Counts {
+		if c >= rank {
+			for ; i < len(b.Exemplars); i++ {
+				if b.Exemplars[i] != "" {
+					return b.Exemplars[i]
+				}
+			}
+			return ""
+		}
+	}
+	return ""
+}
+
+// Violation is one failed SLO assertion.
+type Violation struct {
+	Target   Target
+	Observed float64 // estimated quantile, seconds
+	Count    int64
+	Exemplar string // trace id near the offending bucket, "" when none
+}
+
+func (v Violation) String() string {
+	ex := ""
+	if v.Exemplar != "" {
+		ex = " (e.g. trace " + v.Exemplar + ")"
+	}
+	return fmt.Sprintf("%s p%g = %.4gs > %.4gs target over %d observations%s",
+		v.Target.Stage, v.Target.Q*100, v.Observed, v.Target.Bound, v.Count, ex)
+}
+
+// Evaluate checks targets against scraped stage histograms (keyed by stage
+// label, as returned by ParseStageHistograms). A target whose stage has no
+// observations is an error — asserting on nothing must not pass silently.
+func Evaluate(targets []Target, stages map[string]*BucketCDF) ([]Violation, error) {
+	var out []Violation
+	for _, tg := range targets {
+		cdf := stages[tg.Stage]
+		if cdf == nil || cdf.Count() == 0 {
+			return nil, fmt.Errorf("slo: no %q observations in scrape (stages present: %s)",
+				tg.Stage, strings.Join(stageNames(stages), ", "))
+		}
+		if est := cdf.Quantile(tg.Q); est > tg.Bound {
+			out = append(out, Violation{
+				Target: tg, Observed: est, Count: cdf.Count(),
+				Exemplar: cdf.ExemplarNear(tg.Q),
+			})
+		}
+	}
+	return out, nil
+}
+
+func stageNames(stages map[string]*BucketCDF) []string {
+	names := make([]string, 0, len(stages))
+	for n := range stages {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}

@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"sync"
 
+	"critics/internal/obs"
 	"critics/internal/telemetry"
 )
 
@@ -124,6 +125,21 @@ func NewPoolMetrics(reg *telemetry.Registry, pool string) *PoolMetrics {
 func (p *Pool) Map(n int, f func(i int)) {
 	if n <= 0 || p.cancelled() {
 		return
+	}
+	// When the bound context carries a job trace, record the whole fan-out
+	// as one span. Maps within a job run one after another (each blocks its
+	// caller), so a per-trace ordinal keeps the id deterministic.
+	if t, parent, ok := obs.FromContext(p.ctx); ok && t != nil {
+		prefix := "map:" + p.name
+		id := prefix + "#" + strconv.Itoa(t.Seq(prefix))
+		t0 := t.Now()
+		defer func() {
+			t.Add(obs.Span{
+				ID: id, Parent: parent, Name: prefix,
+				StartUS: t0, DurUS: t.Now() - t0,
+				Attrs: []obs.Attr{obs.A("shards", strconv.Itoa(n))},
+			})
+		}()
 	}
 	workers := p.workers
 	if workers > n {

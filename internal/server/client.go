@@ -135,6 +135,60 @@ func (c *Client) Experiments(ctx context.Context) ([]string, error) {
 	return resp.Experiments, nil
 }
 
+// raw GETs a path and returns the response body verbatim; non-2xx responses
+// become *APIError like do.
+func (c *Client) raw(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		var er ErrorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			apiErr.Message = er.Error
+			apiErr.Retryable = er.Retryable
+		}
+		return nil, apiErr
+	}
+	return data, nil
+}
+
+// MetricsText fetches the daemon's Prometheus exposition verbatim — the
+// input to criticctl slo/top's client-side histogram math.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	data, err := c.raw(ctx, "/metrics")
+	return string(data), err
+}
+
+// Trace fetches a job's span tree as raw JSON; format "chrome" selects the
+// Chrome trace-event export, "" the tree document.
+func (c *Client) Trace(ctx context.Context, id, format string) ([]byte, error) {
+	path := "/v1/jobs/" + id + "/trace"
+	if format != "" {
+		path += "?format=" + format
+	}
+	return c.raw(ctx, path)
+}
+
+// Events fetches flight-recorder events, all of them when job is empty.
+func (c *Client) Events(ctx context.Context, job string) ([]byte, error) {
+	path := "/debug/events"
+	if job != "" {
+		path += "?job=" + job
+	}
+	return c.raw(ctx, path)
+}
+
 // DistWorkers fetches the coordinator's fleet status. A daemon running
 // without distribution enabled answers 404.
 func (c *Client) DistWorkers(ctx context.Context) ([]dist.WorkerStatus, error) {

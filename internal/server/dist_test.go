@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"critics/internal/dist"
+	"critics/internal/obs"
 	"critics/internal/telemetry"
 )
 
@@ -122,5 +123,105 @@ func TestDistWorkersWithoutCoordinator(t *testing.T) {
 	_, c := start(t, stubConfig(echoStub))
 	if _, err := c.DistWorkers(context.Background()); err == nil {
 		t.Fatal("DistWorkers succeeded against a coordinator-less daemon, want 404")
+	}
+}
+
+// TestDistributedTrace is the in-process mirror of the CI obs-smoke: two
+// workers, one answering its first task with an injected 500, one job. The
+// job's trace must contain a retry dispatch leg (the coordinator routed the
+// failed task to the healthy worker) and merged worker-side spans carrying
+// the worker's URL as their site.
+func TestDistributedTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real pipeline")
+	}
+	bad := dist.NewWorker(dist.WorkerConfig{Workers: 2, FailFirstTasks: 1})
+	badSrv := httptest.NewServer(bad.Handler())
+	defer badSrv.Close()
+	good := dist.NewWorker(dist.WorkerConfig{Workers: 2})
+	goodSrv := httptest.NewServer(good.Handler())
+	defer goodSrv.Close()
+
+	reg := telemetry.NewRegistry()
+	coord := dist.NewCoordinator(dist.Config{Registry: reg, RetryBackoff: 5 * time.Millisecond})
+	defer coord.Close()
+	// The failing worker registers first: deterministic tie-breaks route the
+	// first task to it, so the injected failure (and its retry) always fires.
+	coord.AddWorkerCapacity(badSrv.URL, 2)
+	coord.AddWorkerCapacity(goodSrv.URL, 2)
+
+	_, c := start(t, Config{QueueSize: 4, Workers: 1, JobWorkers: 1, Registry: reg, Coordinator: coord})
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, SubmitRequest{App: "acrobat", Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st, err = c.Wait(ctx, st.ID, 2*time.Minute)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if st.State != StateSucceeded {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+
+	raw, err := c.Trace(ctx, st.ID, "")
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	var names, sites []string
+	var walk func(ns []*obs.Node)
+	walk = func(ns []*obs.Node) {
+		for _, n := range ns {
+			names = append(names, n.Name)
+			if n.Site != "" {
+				sites = append(sites, n.Site)
+			}
+			walk(n.Children)
+		}
+	}
+	var doc obs.TraceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace decode: %v", err)
+	}
+	walk(doc.Spans)
+	has := func(want string) bool {
+		for _, n := range names {
+			if n == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("dispatch") {
+		t.Fatalf("no dispatch span in trace: %v", names)
+	}
+	if !has("retry") {
+		t.Fatalf("no retry span in trace despite the injected failure: %v", names)
+	}
+	if !has("remote-compute") {
+		t.Fatalf("no merged remote-compute span in trace: %v", names)
+	}
+	if len(sites) == 0 {
+		t.Fatal("no span carries a worker site")
+	}
+
+	// The retried event must be on the job's flight record too.
+	evRaw, err := c.Events(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	var evs EventsResponse
+	if err := json.Unmarshal(evRaw, &evs); err != nil {
+		t.Fatalf("events decode: %v", err)
+	}
+	sawRetry := false
+	for _, e := range evs.Events {
+		if e.Type == obs.EvRetried {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Fatalf("no retried event in flight record: %+v", evs.Events)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"critics/internal/obs"
 )
 
 // job is one unit of queued/executing work. State transitions go through the
@@ -17,6 +19,11 @@ import (
 type job struct {
 	id  string
 	req SubmitRequest
+
+	// trace is the job's span store, set at admission before the job enters
+	// the queue (the channel send orders it before any worker access) and
+	// never reassigned; it needs no lock.
+	trace *obs.Trace
 
 	mu       sync.Mutex
 	state    JobState

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"critics/internal/obs"
+)
+
+// ---- job lifecycle instrumentation ---------------------------------------
+//
+// Every admitted job gets a trace (obs.Recorder) rooted at a "job" span:
+//
+//	job                    admission → terminal state
+//	├── queue              admission → dequeue (stage queue_wait)
+//	└── compute            execute() wall time (stage compute)
+//	    ├── map:…          shard fan-outs (sched.Pool)
+//	    └── b:…            memo builds, each with dispatch/retry legs and
+//	        └── …:a1/…     merged worker spans when distribution is on
+//
+// The SLO stages queue_wait / compute / e2e are observed with the job id as
+// the exemplar trace id, and the flight recorder gets one event per
+// transition. All of it is keyed off j.trace being non-nil, which is set
+// before the job enters the queue.
+
+// admitJob starts the job's trace and records its admission. Called before
+// the job is queued so the worker loop always sees the trace.
+func (s *Server) admitJob(j *job) {
+	j.trace = s.obsv.Rec.Start(j.id)
+	s.obsv.Ring.Append(j.id, obs.EvAdmitted,
+		fmt.Sprintf("kind=%s app=%s exp=%s", j.req.Kind, j.req.App, j.req.Experiment))
+}
+
+// dequeueJob closes the queue-wait phase: the "queue" span spans admission to
+// dequeue, and the queue_wait SLO stage observes the same interval.
+func (s *Server) dequeueJob(j *job) {
+	t := j.trace
+	if t == nil {
+		return
+	}
+	wait := t.Now()
+	t.Add(obs.Span{ID: "queue", Parent: "job", Name: "queue", StartUS: 0, DurUS: wait})
+	s.obsv.Stages.Observe(obs.StageQueueWait, float64(wait)/1e6, j.id)
+	s.obsv.Ring.Append(j.id, obs.EvDequeued, fmt.Sprintf("waited %s", (time.Duration(wait)*time.Microsecond).Round(time.Microsecond)))
+}
+
+// finishJob records the job's terminal state on its trace: the "compute" span
+// (computeStart taken just before execute ran), the root "job" span, the
+// compute and e2e SLO stages, and the terminal flight-recorder event. A
+// failed job additionally dumps its flight-recorder events to the log, so a
+// postmortem starts with the sequence of events in hand.
+func (s *Server) finishJob(j *job, computeStart int64) {
+	t := j.trace
+	if t == nil {
+		return
+	}
+	now := t.Now()
+	t.Add(obs.Span{
+		ID: "compute", Parent: "job", Name: "compute",
+		StartUS: computeStart, DurUS: now - computeStart,
+	})
+	st := j.Status()
+	attrs := []obs.Attr{obs.A("kind", string(j.req.Kind)), obs.A("state", string(st.State))}
+	if j.req.App != "" {
+		attrs = append(attrs, obs.A("app", j.req.App))
+	}
+	if j.req.Experiment != "" {
+		attrs = append(attrs, obs.A("experiment", j.req.Experiment))
+	}
+	t.Add(obs.Span{ID: "job", Name: "job", StartUS: 0, DurUS: now, Attrs: attrs})
+	s.obsv.Stages.Observe(obs.StageCompute, float64(now-computeStart)/1e6, j.id)
+	s.obsv.Stages.Observe(obs.StageE2E, float64(now)/1e6, j.id)
+
+	ev := obs.EvCompleted
+	switch st.State {
+	case StateFailed:
+		ev = obs.EvFailed
+	case StateCanceled:
+		ev = obs.EvCanceled
+	}
+	s.obsv.Ring.Append(j.id, ev, st.Error)
+
+	if st.State == StateFailed {
+		// Flight-recorder dump: the job's event sequence in one log record,
+		// so a postmortem needs no /debug/events round-trip.
+		events := s.obsv.Ring.Snapshot(j.id)
+		lines := make([]string, 0, len(events))
+		for _, e := range events {
+			d := e.Type
+			if e.Detail != "" {
+				d += ": " + e.Detail
+			}
+			lines = append(lines, d)
+		}
+		s.log.Warn("job failed; flight recorder", "id", j.id, "events", lines)
+	}
+}
+
+// ---- HTTP handlers -------------------------------------------------------
+
+// handleTrace serves GET /v1/jobs/{id}/trace: the job's span tree as JSON, or
+// as Chrome trace-event JSON (Perfetto-loadable) with ?format=chrome.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	t := s.obsv.Rec.Get(j.id)
+	if t == nil {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no trace retained for job %s", j.id), false)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.id+".trace.json"))
+		_ = t.WriteChrome(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Tree())
+}
+
+// EventsResponse is the GET /debug/events body.
+type EventsResponse struct {
+	Events []obs.Event `json:"events"`
+}
+
+// handleEvents serves GET /debug/events: the flight-recorder ring in sequence
+// order, filtered to one job with ?job=<id>.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, EventsResponse{Events: s.obsv.Ring.Snapshot(r.URL.Query().Get("job"))})
+}

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"critics/internal/obs"
+	"critics/internal/telemetry"
+)
+
+// submitAndWait runs one stubbed job to a terminal state.
+func submitAndWait(t *testing.T, c *Client, req SubmitRequest) JobStatus {
+	t.Helper()
+	ctx := context.Background()
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st, err = c.Wait(ctx, st.ID, 10*time.Second)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	return st
+}
+
+// TestJobTrace checks the tentpole path end to end on the stub executor: a
+// job yields a trace rooted at "job" with "queue" and "compute" children,
+// retrievable as both the JSON tree and a Chrome export, and the flight
+// recorder holds its lifecycle events.
+func TestJobTrace(t *testing.T) {
+	_, c := start(t, stubConfig(echoStub))
+	st := submitAndWait(t, c, SubmitRequest{Kind: KindOptimize, App: "acrobat"})
+	if st.State != StateSucceeded {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+
+	raw, err := c.Trace(context.Background(), st.ID, "")
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	var doc obs.TraceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace decode: %v", err)
+	}
+	if doc.TraceID != st.ID {
+		t.Fatalf("trace id %q, want %q", doc.TraceID, st.ID)
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].ID != "job" {
+		t.Fatalf("want single root span \"job\", got %+v", doc.Spans)
+	}
+	kids := map[string]bool{}
+	for _, n := range doc.Spans[0].Children {
+		kids[n.ID] = true
+	}
+	if !kids["queue"] || !kids["compute"] {
+		t.Fatalf("job children %v, want queue and compute", kids)
+	}
+
+	chrome, err := c.Trace(context.Background(), st.ID, "chrome")
+	if err != nil {
+		t.Fatalf("chrome trace: %v", err)
+	}
+	var export struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &export); err != nil {
+		t.Fatalf("chrome export is not valid trace-event JSON: %v", err)
+	}
+	if len(export.TraceEvents) < 4 { // process meta + job/queue/compute
+		t.Fatalf("chrome export has %d events", len(export.TraceEvents))
+	}
+
+	ev, err := c.Events(context.Background(), st.ID)
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	var resp EventsResponse
+	if err := json.Unmarshal(ev, &resp); err != nil {
+		t.Fatalf("events decode: %v", err)
+	}
+	types := map[string]bool{}
+	for _, e := range resp.Events {
+		if e.Job != st.ID {
+			t.Fatalf("event for job %q leaked into filter for %q", e.Job, st.ID)
+		}
+		types[e.Type] = true
+	}
+	for _, want := range []string{obs.EvAdmitted, obs.EvDequeued, obs.EvCompleted} {
+		if !types[want] {
+			t.Fatalf("event types %v missing %q", types, want)
+		}
+	}
+}
+
+// TestTraceUnknownJob pins the 404s: unknown job ids and (separately) jobs
+// whose trace was evicted.
+func TestTraceUnknownJob(t *testing.T) {
+	_, c := start(t, stubConfig(echoStub))
+	_, err := c.Trace(context.Background(), "j999999", "")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != 404 {
+		t.Fatalf("want 404 APIError, got %v", err)
+	}
+}
+
+// TestFailedJobEvents checks the failure path: the terminal event is
+// "failed" and carries the error detail.
+func TestFailedJobEvents(t *testing.T) {
+	_, c := start(t, stubConfig(func(context.Context, SubmitRequest) ([]byte, error) {
+		return nil, errors.New("boom")
+	}))
+	st := submitAndWait(t, c, SubmitRequest{Kind: KindOptimize, App: "acrobat"})
+	if st.State != StateFailed {
+		t.Fatalf("job ended %s, want failed", st.State)
+	}
+	ev, err := c.Events(context.Background(), st.ID)
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	var resp EventsResponse
+	if err := json.Unmarshal(ev, &resp); err != nil {
+		t.Fatalf("events decode: %v", err)
+	}
+	found := false
+	for _, e := range resp.Events {
+		if e.Type == obs.EvFailed && strings.Contains(e.Detail, "boom") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no failed event with detail in %+v", resp.Events)
+	}
+}
+
+// TestSLOStagesExposed checks the satellite chain server → registry →
+// exposition → obs parser: after a job, /metrics carries the stage
+// histograms with the job id as an exemplar, and criticctl slo's evaluation
+// path accepts them.
+func TestSLOStagesExposed(t *testing.T) {
+	_, c := start(t, stubConfig(echoStub))
+	st := submitAndWait(t, c, SubmitRequest{Kind: KindOptimize, App: "acrobat"})
+
+	text, err := c.MetricsText(context.Background())
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	stages := obs.ParseStageHistograms(text, obs.SLOFamily, "stage")
+	for _, want := range []string{obs.StageQueueWait, obs.StageCompute, obs.StageE2E} {
+		cdf := stages[want]
+		if cdf == nil || cdf.Count() == 0 {
+			t.Fatalf("stage %q missing from exposition:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, `trace_id="`+st.ID+`"`) {
+		t.Fatalf("no exemplar with job id %s in exposition", st.ID)
+	}
+
+	target, err := obs.ParseTarget("e2e:p99<=10m")
+	if err != nil {
+		t.Fatalf("parse target: %v", err)
+	}
+	violations, err := obs.Evaluate([]obs.Target{target}, stages)
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("generous target violated: %v", violations)
+	}
+	tight, _ := obs.ParseTarget("e2e:p50<=1ns")
+	violations, err = obs.Evaluate([]obs.Target{tight}, stages)
+	if err != nil || len(violations) != 1 {
+		t.Fatalf("1ns target: violations=%v err=%v", violations, err)
+	}
+}
+
+// TestBuildInfoGauge checks criticd's registry carries the build-info gauge
+// once RegisterBuildInfo ran (as cmd/criticd does).
+func TestBuildInfoGauge(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg, "criticd")
+	_, c := start(t, func() Config {
+		cfg := stubConfig(echoStub)
+		cfg.Registry = reg
+		return cfg
+	}())
+	text, err := c.MetricsText(context.Background())
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if v, ok := obs.MetricValue(text, "critics_build_info", map[string]string{"component": "criticd"}); !ok || v != 1 {
+		t.Fatalf("critics_build_info{component=criticd} = %v %v, want 1", v, ok)
+	}
+}

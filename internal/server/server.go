@@ -16,6 +16,7 @@ import (
 	"critics"
 	"critics/internal/dist"
 	"critics/internal/exp"
+	"critics/internal/obs"
 	"critics/internal/telemetry"
 )
 
@@ -45,6 +46,11 @@ type Config struct {
 	// New creates one when nil.
 	Registry *telemetry.Registry
 
+	// Tracer, when set, receives engine-level Chrome trace spans from every
+	// job (critics.WithTracer). The caller owns closing it — after Shutdown
+	// returns, so a SIGTERM drain flushes a complete JSON document.
+	Tracer *telemetry.Tracer
+
 	// Logger receives structured request/job logs; nil discards them.
 	Logger *slog.Logger
 
@@ -71,6 +77,7 @@ type Server struct {
 	log     *slog.Logger
 	reg     *telemetry.Registry
 	metrics *metrics
+	obsv    *obs.Observer
 	caches  *critics.SharedCaches
 	mux     *http.ServeMux
 
@@ -115,6 +122,7 @@ func New(cfg Config) *Server {
 		log:        log,
 		reg:        cfg.Registry,
 		metrics:    newMetrics(cfg.Registry),
+		obsv:       obs.NewObserver(cfg.Registry),
 		caches:     critics.NewSharedCaches(),
 		baseCtx:    base,
 		cancelBase: cancel,
@@ -124,6 +132,9 @@ func New(cfg Config) *Server {
 	}
 	if s.cfg.execute == nil {
 		s.cfg.execute = s.executePipeline
+	}
+	if cfg.Coordinator != nil {
+		cfg.Coordinator.SetObserver(s.obsv)
 	}
 	s.mux = s.routes()
 	for w := 0; w < cfg.Workers; w++ {
@@ -174,8 +185,10 @@ func (s *Server) worker() {
 		s.metrics.queueDepth.Add(-1)
 		if s.draining.Load() && j.failQueued("server shutting down before execution; safe to retry") {
 			s.metrics.outcomes("dropped").Inc()
+			s.obsv.Ring.Append(j.id, obs.EvDrained, "queued at shutdown")
 			continue
 		}
+		s.dequeueJob(j)
 		timeout := s.cfg.JobTimeout
 		if j.req.TimeoutMS > 0 {
 			timeout = time.Duration(j.req.TimeoutMS) * time.Millisecond
@@ -187,6 +200,7 @@ func (s *Server) worker() {
 		if !j.tryStart(cancel) {
 			cancel()
 			s.metrics.outcomes("canceled").Inc()
+			s.obsv.Ring.Append(j.id, obs.EvCanceled, "canceled before execution")
 			continue
 		}
 		s.runJob(ctx, j)
@@ -201,6 +215,14 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
 	s.log.Info("job start", "id", j.id, "kind", j.req.Kind, "app", j.req.App, "exp", j.req.Experiment)
+
+	var computeStart int64
+	if j.trace != nil {
+		// Engine spans (shard maps, memo builds, dispatch legs) parent to the
+		// job's "compute" span through the context.
+		computeStart = j.trace.Now()
+		ctx = obs.ContextWith(ctx, j.trace, "compute")
+	}
 
 	var (
 		result   []byte
@@ -226,6 +248,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		retry = errors.Is(err, context.DeadlineExceeded)
 	}
 	j.finish(result, msg, retry)
+	s.finishJob(j, computeStart)
 
 	st := j.Status()
 	outcome := string(st.State)
@@ -257,6 +280,9 @@ func (s *Server) executePipeline(ctx context.Context, req SubmitRequest) ([]byte
 		critics.WithSharedCaches(s.caches),
 		critics.WithTelemetry(s.reg),
 	)
+	if s.cfg.Tracer != nil {
+		opts = append(opts, critics.WithTracer(s.cfg.Tracer))
+	}
 	if coord := s.cfg.Coordinator; coord != nil && coord.HealthyWorkers() > 0 {
 		opts = append(opts, critics.WithRemoteExecution(coord, coord))
 	}
@@ -310,6 +336,8 @@ func (s *Server) routes() *http.ServeMux {
 	handle("GET", "/v1/jobs", s.handleList)
 	handle("GET", "/v1/jobs/{id}", s.handleStatus)
 	handle("GET", "/v1/jobs/{id}/result", s.handleResult)
+	handle("GET", "/v1/jobs/{id}/trace", s.handleTrace)
+	handle("GET", "/debug/events", s.handleEvents)
 	handle("DELETE", "/v1/jobs/{id}", s.handleCancel)
 	handle("GET", "/v1/apps", s.handleApps)
 	handle("GET", "/v1/experiments", s.handleExperiments)
@@ -372,6 +400,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nextID++
 	j := newJob(fmt.Sprintf("j%06d", s.nextID), req)
+	s.admitJob(j) // before the queue send: workers must see the trace
 	select {
 	case s.queue <- j:
 	default:

@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+)
+
+// RegisterBuildInfo exposes a critics_build_info gauge (value fixed at 1)
+// labelled with the component name, the binary's module version, the Go
+// toolchain version and GOMAXPROCS — enough for a fleet scrape to spot
+// binary skew between coordinators and workers. Safe to call more than
+// once per registry; repeated calls with the same labels are idempotent.
+func RegisterBuildInfo(reg *Registry, component string) {
+	if reg == nil {
+		return
+	}
+	version := "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	reg.Gauge("critics_build_info",
+		"Build identity of this process; the value is always 1.",
+		L("component", component),
+		L("version", version),
+		L("go_version", runtime.Version()),
+		L("gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0))),
+	).Set(1)
+}

@@ -186,11 +186,21 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 
 // Histogram is a fixed-bucket histogram with atomic bucket counts. Bounds
 // are inclusive upper bounds (Prometheus "le" semantics); an implicit +Inf
-// bucket catches the overflow.
+// bucket catches the overflow. Each bucket can additionally hold one
+// exemplar — a recent observation tagged with a trace id
+// (ObserveExemplar), rendered in OpenMetrics style so slow buckets point
+// straight at a representative trace.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
-	sum    atomicFloat
+	bounds    []float64
+	counts    []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	exemplars []atomic.Pointer[Exemplar]
+	sum       atomicFloat
+}
+
+// Exemplar is one observation tagged with the trace it came from.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 // Observe records v.
@@ -198,6 +208,24 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[i].Add(1)
 	h.sum.add(v)
+}
+
+// ObserveExemplar records v and attaches (v, traceID) as the exemplar of
+// the bucket v lands in, replacing that bucket's previous exemplar. An
+// empty traceID is a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// BucketExemplar returns bucket i's exemplar (i == len(bounds) is the +Inf
+// bucket); nil when none was recorded.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	return h.exemplars[i].Load()
 }
 
 // Count returns the total number of observations.
@@ -216,12 +244,23 @@ func (h *Histogram) expose(w *bufio.Writer, name, labels string) {
 	var cum int64
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelsWith(labels, `le="`+formatFloat(b)+`"`), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", name,
+			labelsWith(labels, `le="`+formatFloat(b)+`"`), cum, exemplarSuffix(h.exemplars[i].Load()))
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelsWith(labels, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n", name,
+		labelsWith(labels, `le="+Inf"`), cum, exemplarSuffix(h.exemplars[len(h.bounds)].Load()))
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.sum.load()))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, cum)
+}
+
+// exemplarSuffix renders an OpenMetrics-style exemplar annotation
+// (` # {trace_id="..."} value`) or "" when e is nil.
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return ` # {trace_id="` + escapeLabelValue(e.TraceID) + `"} ` + formatFloat(e.Value)
 }
 
 // labelsWith appends one pre-rendered pair to a rendered label string.
@@ -238,7 +277,11 @@ func labelsWith(labels, pair string) string {
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
 	return r.register(name, help, "histogram", labels, func() sample {
 		b := append([]float64(nil), bounds...)
-		return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		return &Histogram{
+			bounds:    b,
+			counts:    make([]atomic.Int64, len(b)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+		}
 	}).(*Histogram)
 }
 

@@ -114,6 +114,15 @@ func buildFixedRegistry() *Registry {
 		L("worker", "http://w1:9721")).Set(2)
 	reg.Counter("critics_dist_worker_tasks_total", "Tasks completed successfully per worker.",
 		L("worker", "http://w1:9721")).Add(21)
+	// The SLO stage-latency family (internal/obs pins the same name; this
+	// locks its exposition shape including OpenMetrics-style exemplars —
+	// slow buckets carry the trace id of a representative observation).
+	sh := reg.Histogram("critics_slo_stage_seconds", "Job latency by stage.",
+		ExpBuckets(0.001, 4, 8), L("stage", "e2e"))
+	sh.Observe(0.0005)
+	sh.ObserveExemplar(0.003, "j1")
+	sh.ObserveExemplar(0.9, "j2")
+	sh.ObserveExemplar(300, "j3") // lands in +Inf
 	return reg
 }
 
@@ -153,8 +162,87 @@ func TestServeHTTP(t *testing.T) {
 		if strings.HasPrefix(line, "#") || line == "" {
 			continue
 		}
-		if len(strings.Fields(line)) != 2 {
+		// An exemplar annotation (" # {...} value") may trail a bucket
+		// sample; the sample itself must still be "name{labels} value".
+		sample, exemplar, hasEx := strings.Cut(line, " # ")
+		if len(strings.Fields(sample)) != 2 {
 			t.Errorf("unparseable exposition line %q", line)
 		}
+		if hasEx && (!strings.HasPrefix(exemplar, `{trace_id="`) || len(strings.Fields(exemplar)) != 2) {
+			t.Errorf("unparseable exemplar annotation %q", line)
+		}
+	}
+}
+
+// TestHistogramConcurrent races Observe/ObserveExemplar against scrapes on
+// one histogram series — the lock-freedom proof for bucket counts and the
+// exemplar pointers (run under -race in CI).
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_conc_seconds", "conc", ExpBuckets(0.001, 2, 10))
+	const goroutines = 8
+	const iters = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v := float64(i%100) / 50
+				if i%3 == 0 {
+					h.ObserveExemplar(v, "job-"+string(rune('a'+g)))
+				} else {
+					h.Observe(v)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			var b bytes.Buffer
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if h.Count() != goroutines*iters {
+		t.Errorf("count = %d, want %d", h.Count(), goroutines*iters)
+	}
+	// At least one bucket ends with an exemplar, and every exemplar's value
+	// respects its bucket's bounds.
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `# {trace_id="job-`) {
+		t.Errorf("no exemplar rendered:\n%s", b.String())
+	}
+}
+
+// TestRegisterBuildInfo checks the build-identity gauge renders with the
+// expected labels and a fixed value of 1.
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, "criticd")
+	RegisterBuildInfo(reg, "criticd") // idempotent
+	RegisterBuildInfo(nil, "criticd") // nil registry is a no-op
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"critics_build_info{", `component="criticd"`, "go_version=", "gomaxprocs=", "version="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("build info missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasSuffix(last, " 1") {
+		t.Errorf("build info value line = %q, want trailing 1", last)
 	}
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"critics/internal/server"
+)
+
+// cmdFleet implements "criticctl fleet <status|converge>".
+func cmdFleet(ctx context.Context, c *server.Client, args []string) {
+	if len(args) < 1 {
+		fleetUsage()
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "status":
+		fs := flag.NewFlagSet("fleet status", flag.ExitOnError)
+		_ = fs.Parse(rest)
+		apps, err := c.Fleet(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		if len(apps) == 0 {
+			fmt.Println("no fleet state: no device sketches ingested yet")
+			return
+		}
+		fmt.Printf("%-12s %8s %8s %8s %6s  %-16s %s\n",
+			"APP", "REV", "SKETCHES", "DEVICES", "KEYS", "CONSENSUS", "CONVERGE")
+		for _, a := range apps {
+			converge := "-"
+			if a.Winner != "" {
+				state := "running"
+				if a.Converged {
+					state = "converged"
+				}
+				converge = fmt.Sprintf("%s %s (%d gen, %d chains, %s)",
+					state, a.Winner, a.Generations, a.SelectedChains, a.WinnerDigest)
+			}
+			fmt.Printf("%-12s %8d %8d %8.0f %6d  %-16s %s\n",
+				a.App, a.Revision, a.Sketches, a.Devices, a.Keys, a.Digest, converge)
+		}
+	case "converge":
+		fs := flag.NewFlagSet("fleet converge", flag.ExitOnError)
+		quick := fs.Bool("quick", false, "reduced-scale windows (faster, noisier)")
+		workers := fs.Int("workers", 0, "shard workers for the job (0 = server default)")
+		timeout := fs.Duration("timeout", 10*time.Minute, "give up waiting after this long")
+		app := ""
+		if len(rest) > 0 && len(rest[0]) > 0 && rest[0][0] != '-' {
+			app = rest[0]
+			rest = rest[1:]
+		}
+		_ = fs.Parse(rest)
+		if app == "" && fs.NArg() > 0 {
+			app = fs.Arg(0)
+		}
+		if app == "" {
+			fmt.Fprintln(os.Stderr, "criticctl: fleet converge requires an app name")
+			fleetUsage()
+		}
+		st, err := c.Submit(ctx, server.SubmitRequest{
+			Kind: server.KindFleet, App: app, Quick: *quick, Workers: *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("job %s submitted (%s %s)\n", st.ID, st.Kind, st.App)
+		st, err = c.Wait(ctx, st.ID, *timeout)
+		if err != nil {
+			fatal(err)
+		}
+		if st.State != server.StateSucceeded {
+			fmt.Fprintf(os.Stderr, "criticctl: job %s %s: %s\n", st.ID, st.State, st.Error)
+			os.Exit(1)
+		}
+		res, err := c.Result(ctx, st.ID)
+		if err != nil {
+			fatal(err)
+		}
+		printResultText(res)
+	default:
+		fmt.Fprintf(os.Stderr, "criticctl: unknown fleet subcommand %q\n\n", sub)
+		fleetUsage()
+	}
+}
+
+func fleetUsage() {
+	fmt.Fprintf(os.Stderr, `usage: criticctl fleet <subcommand>
+
+subcommands:
+  status                  per-app consensus + converge state (GET /v1/fleet)
+  converge <app> [flags]  run the iterative optimizer against the app's
+                          fleet consensus and print the report
+                          (-quick, -workers N, -timeout d)
+`)
+	os.Exit(2)
+}

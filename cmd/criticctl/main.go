@@ -13,6 +13,8 @@
 //	criticctl cancel j000001
 //	criticctl bench -n 16 -c 4 -app acrobat -quick # throughput + latency
 //	criticctl workers                              # dist fleet status
+//	criticctl fleet status                         # device-fleet consensus state
+//	criticctl fleet converge acrobat               # run the fleet PGO optimizer
 //	criticctl apps
 //	criticctl experiments
 //
@@ -45,6 +47,7 @@ commands:
   workers      print the distributed-execution fleet status (-dist daemons)
   trace        fetch a job's span tree   (criticctl trace <id> [-chrome] [-o file])
   events       print flight-recorder events (criticctl events [-job id])
+  fleet        fleet PGO loop: status, converge <app> (see criticfleet for devices)
   slo          assert stage latency quantiles (criticctl slo -target e2e:p95<=2.5s)
   top          one-shot fleet snapshot: jobs, stage latencies, workers
   apps         list the workload catalog
@@ -154,6 +157,8 @@ func main() {
 		}
 		os.Stdout.Write(raw)
 		fmt.Println()
+	case "fleet":
+		cmdFleet(ctx, c, args)
 	case "slo":
 		cmdSLO(ctx, c, args)
 	case "top":

@@ -10,8 +10,15 @@
 //	criticd -quick -job-timeout 2m         # reduced windows, tighter deadline
 //
 // Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}[/result|/trace], DELETE
-// /v1/jobs/{id}, GET /v1/apps, /v1/experiments, /debug/events, /healthz,
-// /readyz, /metrics. cmd/criticctl is the matching client.
+// /v1/jobs/{id}, POST /v1/profiles, GET /v1/fleet, GET /v1/apps,
+// /v1/experiments, /debug/events, /healthz, /readyz, /metrics.
+// cmd/criticctl is the matching client.
+//
+// Fleet PGO loop (internal/fleet): devices — cmd/criticfleet simulates a
+// fleet of them — stream bounded profile sketches to POST /v1/profiles
+// (bounded by -profile-queue; saturation answers 429 + Retry-After), the
+// daemon folds them into a per-app consensus, and a "fleet" job iterates
+// candidate CritIC selections against that consensus until they converge.
 //
 // Observability (internal/obs): every job is traced (GET
 // /v1/jobs/{id}/trace, ?format=chrome for Perfetto), lifecycle events land
@@ -61,6 +68,7 @@ func main() {
 		jobWorkers   = flag.Int("job-workers", 0, "per-job shard pool bound (0 = GOMAXPROCS)")
 		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "default per-job deadline (requests may set their own)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "grace for in-flight jobs at shutdown")
+		profileQueue = flag.Int("profile-queue", 256, "bounded fleet profile-sketch ingest queue (full queue refuses POST /v1/profiles with 429)")
 		quick        = flag.Bool("quick", false, "force reduced-scale windows for every job")
 		traceOut     = flag.String("trace-out", "", "write engine-level Chrome trace-event JSON here, flushed complete on graceful drain")
 		verbose      = flag.Bool("v", false, "structured request/job log on stderr")
@@ -123,15 +131,16 @@ func main() {
 		}
 	}
 	srv := server.New(server.Config{
-		QueueSize:   *queueSize,
-		Workers:     *jobs,
-		JobWorkers:  *jobWorkers,
-		JobTimeout:  *jobTimeout,
-		QuickScale:  *quick,
-		Registry:    reg,
-		Tracer:      tracer,
-		Logger:      logger,
-		Coordinator: coord,
+		QueueSize:    *queueSize,
+		ProfileQueue: *profileQueue,
+		Workers:      *jobs,
+		JobWorkers:   *jobWorkers,
+		JobTimeout:   *jobTimeout,
+		QuickScale:   *quick,
+		Registry:     reg,
+		Tracer:       tracer,
+		Logger:       logger,
+		Coordinator:  coord,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -18,6 +18,7 @@ import (
 	"critics/internal/compiler"
 	"critics/internal/exp"
 	"critics/internal/prog"
+	"critics/internal/telemetry"
 	"critics/internal/workload"
 )
 
@@ -28,11 +29,16 @@ func fail(err error) {
 
 func main() {
 	var (
-		app    = flag.String("app", "acrobat", "app to dump")
-		fnID   = flag.Int("func", -1, "function id to disassemble (-1: first function with a converted chain)")
-		verify = flag.Bool("verify", false, "verify assemble/decode round trip of baseline and CritIC binaries")
+		app     = flag.String("app", "acrobat", "app to dump")
+		fnID    = flag.Int("func", -1, "function id to disassemble (-1: first function with a converted chain)")
+		verify  = flag.Bool("verify", false, "verify assemble/decode round trip of baseline and CritIC binaries")
+		version = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.PrintVersion("criticdump"))
+		return
+	}
 
 	a, ok := workload.FindApp(*app)
 	if !ok {

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"critics"
+	"critics/internal/telemetry"
 	"critics/internal/trace"
 )
 
@@ -26,8 +27,13 @@ func main() {
 		traceN   = flag.Int("trace-n", 100_000, "dynamic instructions to dump with -trace")
 		quick    = flag.Bool("quick", false, "reduced profiling windows")
 		top      = flag.Int("top", 10, "number of top chains to print")
+		version  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.PrintVersion("criticprof"))
+		return
+	}
 	if *app == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -33,7 +33,9 @@ import (
 	"critics/internal/cpu"
 	"critics/internal/energy"
 	"critics/internal/exp"
+	"critics/internal/fleet"
 	"critics/internal/sched"
+	"critics/internal/sketch"
 	"critics/internal/telemetry"
 	"critics/internal/trace"
 	"critics/internal/workload"
@@ -379,6 +381,30 @@ func BuildProfileContext(ctx context.Context, name string, opts ...Option) (prof
 		return nil, err
 	}
 	return prof, nil
+}
+
+// FleetConverge runs the iterative fleet optimizer for one app against a
+// device-consensus profile sketch (see internal/fleet): generations of
+// candidate CritIC selection policies are measured through the memoized
+// sweep path and A/B-scored against the fleet's observed dynamic stream
+// until the winner stabilizes. Cancellation semantics match
+// OptimizeAppContext.
+func FleetConverge(ctx context.Context, name string, consensus *sketch.Sketch, fopts fleet.ConvergeOptions, opts ...Option) (rep *fleet.Report, err error) {
+	app, ok := workload.FindApp(name)
+	if !ok {
+		return nil, fmt.Errorf("critics: unknown app %q", name)
+	}
+	defer recoverCancelled(ctx, &err)
+	ec := newCtx(opts...)
+	ec.SetRunContext(ctx)
+	rep, err = fleet.Converge(ctx, ec, app, consensus, fopts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // recoverCancelled converts a panic raised by a pipeline stage that consumed

@@ -221,20 +221,39 @@ func BuildProfile(pr *prog.Program, windows []trace.Window, cfg Config) *Profile
 			Length:    int(key.N),
 			DynCount:  a.count,
 			AvgFanout: a.fanoutSum / float64(a.count),
-			ThumbOK:   chainThumbOK(pr, key),
+			ThumbOK:   ChainThumbOK(pr, key),
 		}
 		p.Entries = append(p.Entries, e)
 	}
-	// Rank by dynamic coverage, ties broken deterministically by key.
+	p.Rank()
+	selectEntries(p, cfg)
+	return p
+}
+
+// Rank sorts the entries by dynamic coverage, ties broken deterministically
+// by key — the order selection walks. BuildProfile ranks automatically;
+// callers assembling a Profile from external data (e.g. a fleet consensus
+// sketch) rank before Select.
+func (p *Profile) Rank() {
 	sort.Slice(p.Entries, func(i, j int) bool {
 		a, b := &p.Entries[i], &p.Entries[j]
 		if ai, bi := a.DynInstrs(), b.DynInstrs(); ai != bi {
 			return ai > bi
 		}
-		return lessKey(a.Key, b.Key)
+		return LessKey(a.Key, b.Key)
 	})
+}
+
+// Select re-runs CritIC selection over already-ranked entries under cfg,
+// clearing any previous selection first. BuildProfile selects automatically;
+// this entry point lets callers re-select an existing profile under a
+// different policy (candidate generations of the fleet optimizer).
+func (p *Profile) Select(cfg Config) {
+	for i := range p.Entries {
+		p.Entries[i].Selected = false
+	}
+	p.SelectedCoverage = 0
 	selectEntries(p, cfg)
-	return p
 }
 
 // keyOf maps a dynamic chain to its static key. Returns ok=false if the
@@ -261,8 +280,10 @@ func keyOf(dyns []trace.Dyn, c *dfg.Chain) (ChainKey, bool) {
 	return k, true
 }
 
-// lessKey is a deterministic total order on keys.
-func lessKey(a, b ChainKey) bool {
+// LessKey is a deterministic total order on keys — the canonical order of
+// every serialized key list (profile JSON entries keep rank order; sketch
+// wire forms sort by it).
+func LessKey(a, b ChainKey) bool {
 	if a.Func != b.Func {
 		return a.Func < b.Func
 	}
@@ -280,9 +301,9 @@ func lessKey(a, b ChainKey) bool {
 	return false
 }
 
-// chainThumbOK applies the all-or-nothing rule: every member must be
+// ChainThumbOK applies the all-or-nothing rule: every member must be
 // emittable as a single T16 halfword (footnote 1 of the paper).
-func chainThumbOK(pr *prog.Program, k ChainKey) bool {
+func ChainThumbOK(pr *prog.Program, k ChainKey) bool {
 	for i := uint8(0); i < k.N; i++ {
 		in := pr.At(prog.InstID{Func: int(k.Func), Block: int(k.Block), Index: int(k.Idx[i])})
 		if !encoding.Representable(in.Inst) {

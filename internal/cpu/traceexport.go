@@ -14,8 +14,8 @@ import (
 // track's spans reproduces the corresponding Breakdown aggregate (the
 // contract TestExportWindowMatchesBreakdown enforces).
 const (
-	tidStallI = 1 + iota // F.StallForI (§II-D)
-	tidStallRD           // F.StallForR+D (§II-D)
+	tidStallI  = 1 + iota // F.StallForI (§II-D)
+	tidStallRD            // F.StallForR+D (§II-D)
 	tidDecode
 	tidRename
 	tidExecute

@@ -1,0 +1,183 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"testing"
+	"time"
+
+	"critics/internal/sketch"
+	"critics/internal/workload"
+)
+
+func testApp() workload.App { return workload.MobileApps()[0] }
+
+// deviceSketches builds one round-1 sketch per simulated device.
+func deviceSketches(t testing.TB, n int) []*sketch.Sketch {
+	t.Helper()
+	app := testApp()
+	out := make([]*sketch.Sketch, n)
+	for i := range out {
+		out[i] = BuildDeviceSketch(app, fmt.Sprintf("device-%02d", i), 1)
+	}
+	return out
+}
+
+// waitSketches polls until the app's status reports n merged sketches.
+func waitSketches(t *testing.T, s *Service, app string, n uint64) AppStatus {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, as := range s.Status() {
+			if as.App == app && as.Sketches >= n {
+				return as
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d sketches of %s", n, app)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestIngestFormsConsensus(t *testing.T) {
+	sks := deviceSketches(t, 4)
+	s := NewService(Config{})
+	defer s.Drain()
+	for _, sk := range sks {
+		if !s.Offer(sk) {
+			t.Fatal("offer refused with an empty queue")
+		}
+	}
+	as := waitSketches(t, s, sks[0].App, uint64(len(sks)))
+	if as.Keys == 0 || as.Revision == 0 {
+		t.Fatalf("empty consensus: %+v", as)
+	}
+	if as.Devices < 3.5 || as.Devices > 4.5 {
+		t.Errorf("devices estimate %.2f, want ~4", as.Devices)
+	}
+
+	// The service's consensus must byte-match a direct fold.
+	want := sketch.New(sks[0].App)
+	for _, sk := range sks {
+		want.Merge(sk)
+	}
+	got, rev, ok := s.Consensus(sks[0].App)
+	if !ok || rev == 0 {
+		t.Fatalf("no consensus (ok=%t rev=%d)", ok, rev)
+	}
+	if !bytes.Equal(got.Encode(), want.Encode()) {
+		t.Error("service consensus differs from a direct fold")
+	}
+}
+
+func TestIngestOrderInvariant(t *testing.T) {
+	sks := deviceSketches(t, 6)
+	app := sks[0].App
+	r := rand.New(rand.NewSource(7))
+
+	digests := map[string]bool{}
+	for trial := 0; trial < 3; trial++ {
+		s := NewService(Config{})
+		perm := r.Perm(len(sks))
+		for _, i := range perm {
+			if !s.Offer(sks[i]) {
+				t.Fatal("offer refused")
+			}
+			// Duplicate some deliveries: re-sends must be idempotent.
+			if i%2 == 0 {
+				s.Offer(sks[i])
+			}
+		}
+		s.Drain()
+		got, _, ok := s.Consensus(app)
+		if !ok {
+			t.Fatal("no consensus after drain")
+		}
+		digests[got.Digest()] = true
+	}
+	if len(digests) != 1 {
+		t.Errorf("arrival order changed the consensus: %v", digests)
+	}
+}
+
+func TestOfferBackpressure(t *testing.T) {
+	// Build the service by hand, without a merger, so the queue genuinely
+	// fills: this pins the admission decision itself, not merge speed.
+	s := &Service{
+		cfg:   Config{QueueSize: 2},
+		log:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+		m:     newFleetMetrics(nil),
+		queue: make(chan *sketch.Sketch, 2),
+		apps:  map[string]*appState{},
+	}
+	sk := sketch.New("app")
+	if !s.Offer(sk) || !s.Offer(sk) {
+		t.Fatal("offers refused below capacity")
+	}
+	for i := 0; i < 3; i++ {
+		if s.Offer(sk) {
+			t.Fatal("offer accepted beyond capacity")
+		}
+	}
+}
+
+func TestDrainRefusesAndFlushes(t *testing.T) {
+	sks := deviceSketches(t, 2)
+	s := NewService(Config{})
+	for _, sk := range sks {
+		s.Offer(sk)
+	}
+	s.Drain()
+	if s.Offer(sks[0]) {
+		t.Error("offer accepted after drain")
+	}
+	// Everything queued before the drain must have been merged.
+	got, _, ok := s.Consensus(sks[0].App)
+	if !ok {
+		t.Fatal("no consensus after drain")
+	}
+	if got.TotalDyn == 0 {
+		t.Error("queued sketches were dropped by drain")
+	}
+	s.Drain() // second drain is a no-op, not a panic
+}
+
+func TestDeviceSketchDeterministicAndMonotone(t *testing.T) {
+	app := testApp()
+	a := BuildDeviceSketch(app, "device-00", 1)
+	b := BuildDeviceSketch(app, "device-00", 1)
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Error("device sketch not deterministic")
+	}
+
+	// Round r+1 must dominate round r: merging the older sketch into the
+	// newer one changes nothing, so a device re-send supersedes cleanly.
+	r2 := BuildDeviceSketch(app, "device-00", 2)
+	if r2.TotalDyn <= a.TotalDyn {
+		t.Fatalf("round 2 TotalDyn %d not above round 1 %d", r2.TotalDyn, a.TotalDyn)
+	}
+	before := r2.Encode()
+	if r2.Merge(a) {
+		t.Error("round-1 sketch changed the round-2 consensus (not monotone)")
+	}
+	if !bytes.Equal(r2.Encode(), before) {
+		t.Error("merge of a dominated sketch altered the bytes")
+	}
+}
+
+func TestDistinctDevicesDistinctSketches(t *testing.T) {
+	app := testApp()
+	a := BuildDeviceSketch(app, "device-00", 1)
+	b := BuildDeviceSketch(app, "device-01", 1)
+	if bytes.Equal(a.Encode(), b.Encode()) {
+		t.Error("distinct devices produced identical sketches; seed perturbation broken")
+	}
+	a.Merge(b)
+	if est := a.DevicesEstimate(); est < 1.5 || est > 2.5 {
+		t.Errorf("devices estimate %.2f, want ~2", est)
+	}
+}

@@ -1,0 +1,67 @@
+package fleet
+
+import "critics/internal/telemetry"
+
+// fleetMetrics are the critics_fleet_* registry series. Family names are
+// pinned by the telemetry package's exposition golden test — rename there
+// too.
+type fleetMetrics struct {
+	queueDepth   *telemetry.Gauge     // sketches decoded but not yet merged
+	rejected     *telemetry.Counter   // offers refused by a full queue
+	bytes        *telemetry.Counter   // sketch payload bytes accepted
+	mergeSeconds *telemetry.Histogram // consensus join latency
+
+	sketches    func(app string) *telemetry.Counter // sketches merged per app
+	revision    func(app string) *telemetry.Gauge   // consensus-changing merges
+	devices     func(app string) *telemetry.Gauge   // KMV distinct-device estimate
+	generations func(app string) *telemetry.Counter // optimizer generations run
+	converged   func(app string) *telemetry.Gauge   // 1 once the optimizer converged
+}
+
+// mergeSecondsBuckets cover 1µs..~1s joins.
+var mergeSecondsBuckets = telemetry.ExpBuckets(0.000001, 4, 10)
+
+func newFleetMetrics(reg *telemetry.Registry) *fleetMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry() // discard: unscraped private registry
+	}
+	return &fleetMetrics{
+		queueDepth: reg.Gauge("critics_fleet_queue_depth",
+			"Profile sketches admitted to the ingest queue and not yet merged."),
+		rejected: reg.Counter("critics_fleet_rejected_total",
+			"Sketch submissions refused because the ingest queue was full."),
+		bytes: reg.Counter("critics_fleet_sketch_bytes_total",
+			"Encoded sketch bytes accepted for ingest."),
+		mergeSeconds: reg.Histogram("critics_fleet_merge_seconds",
+			"Latency of one consensus lattice join.", mergeSecondsBuckets),
+		sketches: func(app string) *telemetry.Counter {
+			return reg.Counter("critics_fleet_sketches_total",
+				"Profile sketches merged into the consensus, per app.",
+				telemetry.L("app", app))
+		},
+		revision: func(app string) *telemetry.Gauge {
+			return reg.Gauge("critics_fleet_consensus_revision",
+				"Merges that changed the app's consensus sketch.",
+				telemetry.L("app", app))
+		},
+		devices: func(app string) *telemetry.Gauge {
+			return reg.Gauge("critics_fleet_devices",
+				"Bottom-k (KMV) estimate of distinct devices contributing to the consensus.",
+				telemetry.L("app", app))
+		},
+		generations: func(app string) *telemetry.Counter {
+			return reg.Counter("critics_fleet_generations_total",
+				"Optimizer generations completed, per app.",
+				telemetry.L("app", app))
+		},
+		converged: func(app string) *telemetry.Gauge {
+			return reg.Gauge("critics_fleet_converged",
+				"1 when the last optimizer run converged on a winner, else 0.",
+				telemetry.L("app", app))
+		},
+	}
+}
+
+// AddBytes accounts accepted sketch payload bytes (the HTTP handler calls
+// it after a successful decode+offer).
+func (s *Service) AddBytes(n int) { s.m.bytes.Add(int64(n)) }

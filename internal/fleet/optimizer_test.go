@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"critics/internal/exp"
+	"critics/internal/sketch"
+)
+
+// optCtx returns a reduced-scale measurement context (QuickContext is still
+// too heavy to run per-test with seven variants).
+func optCtx() *exp.Context {
+	c := exp.QuickContext()
+	c.WarmupArch = 6_000
+	c.WarmArch = 8_000
+	c.MeasureArch = 25_000
+	c.ProfilePlan.Samples = 4
+	c.ProfilePlan.Length = 10_000
+	return c
+}
+
+var sharedOptCtx = optCtx()
+
+// fleetConsensus folds n device sketches into a consensus.
+func fleetConsensus(t testing.TB, n int) *sketch.Sketch {
+	t.Helper()
+	acc := sketch.New(testApp().Params.Name)
+	for _, sk := range deviceSketches(t, n) {
+		acc.Merge(sk)
+	}
+	return acc
+}
+
+func TestConvergeReportShape(t *testing.T) {
+	consensus := fleetConsensus(t, 3)
+	rep, err := Converge(context.Background(), sharedOptCtx, testApp(), consensus, ConvergeOptions{Revision: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Generations) == 0 {
+		t.Fatal("no generations ran")
+	}
+	if rep.Winner == "" || rep.WinnerDigest == "" {
+		t.Fatalf("incomplete report: %+v", rep)
+	}
+	if rep.SelectedChains == 0 {
+		t.Error("winning policy selected no chains from the consensus")
+	}
+	for _, g := range rep.Generations {
+		if g.Winner == "" || len(g.Scores) == 0 {
+			t.Fatalf("incomplete generation: %+v", g)
+		}
+	}
+	// Generations narrow: each must be no larger than its predecessor.
+	for i := 1; i < len(rep.Generations); i++ {
+		if len(rep.Generations[i].Scores) > len(rep.Generations[i-1].Scores) {
+			t.Errorf("generation %d grew: %d > %d candidates",
+				i, len(rep.Generations[i].Scores), len(rep.Generations[i-1].Scores))
+		}
+	}
+	s := rep.String()
+	for _, want := range []string{"fleet converge", "gen 0", rep.Winner, rep.WinnerDigest} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report text missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestClosedLoopDeterminism is the acceptance gate: permuted (and partially
+// duplicated) device arrival orders must yield byte-identical consensus
+// sketches AND byte-identical converge reports.
+func TestClosedLoopDeterminism(t *testing.T) {
+	sks := deviceSketches(t, 5)
+	app := sks[0].App
+	r := rand.New(rand.NewSource(11))
+
+	var reports [][]byte
+	var digests []string
+	for trial := 0; trial < 2; trial++ {
+		s := NewService(Config{})
+		for _, i := range r.Perm(len(sks)) {
+			s.Offer(sks[i])
+			if i%2 == 1 {
+				s.Offer(sks[i]) // duplicated delivery
+			}
+		}
+		s.Drain()
+		consensus, rev, ok := s.Consensus(app)
+		if !ok {
+			t.Fatal("no consensus")
+		}
+		digests = append(digests, consensus.Digest())
+
+		rep, err := Converge(context.Background(), sharedOptCtx, testApp(), consensus, ConvergeOptions{Revision: rev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Revision counts changed merges, which depends on delivery order;
+		// everything else must be identical. Compare canonical JSON with the
+		// revision pinned.
+		rep.Revision = 0
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, b)
+	}
+	if digests[0] != digests[1] {
+		t.Errorf("consensus digests diverged: %s vs %s", digests[0], digests[1])
+	}
+	if string(reports[0]) != string(reports[1]) {
+		t.Errorf("converge reports diverged:\n%s\n%s", reports[0], reports[1])
+	}
+}
+
+func TestConvergeRejectsEmptyConsensus(t *testing.T) {
+	if _, err := Converge(context.Background(), sharedOptCtx, testApp(), sketch.New("x"), ConvergeOptions{}); err == nil {
+		t.Error("converge accepted an empty consensus")
+	}
+}
+
+func TestSurvivorsKeepWinnerAndHalve(t *testing.T) {
+	pool := DefaultCandidates()
+	g := &Generation{Winner: pool[len(pool)-1].Name}
+	for i := range pool {
+		g.Scores = append(g.Scores, CandidateScore{Name: pool[i].Name, Score: float64(i)})
+	}
+	out := survivors(pool, g)
+	if len(out) > (len(pool)+1)/2+1 {
+		t.Errorf("survivors did not halve: %d of %d", len(out), len(pool))
+	}
+	found := false
+	for _, c := range out {
+		if c.Name == g.Winner {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("winner dropped from the surviving pool")
+	}
+}

@@ -28,6 +28,13 @@ const (
 	EvFailed     = "failed"
 	EvCanceled   = "canceled"
 	EvDrained    = "drained"
+
+	// Fleet ingest events (internal/fleet), recorded under the "fleet:<app>"
+	// key rather than a job id.
+	EvSketchMerged   = "sketch-merged"
+	EvSketchRejected = "sketch-rejected"
+	EvGeneration     = "generation"
+	EvConverged      = "converged"
 )
 
 // defaultRingSize is the flight recorder's bound: new events overwrite the

@@ -12,6 +12,9 @@
 //	GET    /v1/jobs/{id}        one job's status
 //	GET    /v1/jobs/{id}/result the result document once the job succeeded
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	POST   /v1/profiles         ingest one device profile sketch (binary wire
+//	                            form); 202, 429 + Retry-After under saturation
+//	GET    /v1/fleet            per-app fleet consensus + converge status
 //	GET    /v1/apps             the workload catalog, by suite
 //	GET    /v1/experiments      the experiment ids the daemon can run
 //	GET    /healthz             liveness (200 while the process serves)
@@ -22,7 +25,11 @@
 // callers.
 package server
 
-import "time"
+import (
+	"time"
+
+	"critics/internal/fleet"
+)
 
 // JobKind selects what a job runs.
 type JobKind string
@@ -33,6 +40,7 @@ const (
 	KindProfile    JobKind = "profile"    // CritIC profile only (critics.BuildProfile)
 	KindExperiment JobKind = "experiment" // one table/figure runner (critics.Experiment)
 	KindTrace      JobKind = "trace"      // optimize + Chrome trace export (critics.TraceApp)
+	KindFleet      JobKind = "fleet"      // fleet converge against the app's consensus (critics.FleetConverge)
 )
 
 // SubmitRequest is the POST /v1/jobs body.
@@ -124,6 +132,7 @@ func (s JobStatus) Duration() time.Duration {
 //	profile     Text + Profile (the criticprof JSON artifact)
 //	experiment  Text (the runner's formatted rows)
 //	trace       Text + Report + Trace (Chrome trace-event JSON)
+//	fleet       Text + Report (the fleet.Report converge document)
 type Result struct {
 	Kind       JobKind `json:"kind"`
 	App        string  `json:"app,omitempty"`
@@ -155,4 +164,10 @@ type AppsResponse struct {
 // ExperimentsResponse is the GET /v1/experiments body.
 type ExperimentsResponse struct {
 	Experiments []string `json:"experiments"`
+}
+
+// FleetResponse is the GET /v1/fleet body: per-app consensus and converge
+// state, sorted by app name.
+type FleetResponse struct {
+	Apps []fleet.AppStatus `json:"apps"`
 }

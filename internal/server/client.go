@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"critics/internal/dist"
+	"critics/internal/fleet"
 )
 
 // Client talks to a criticd instance. The zero value is not usable;
@@ -161,6 +162,49 @@ func (c *Client) raw(ctx context.Context, path string) ([]byte, error) {
 		return nil, apiErr
 	}
 	return data, nil
+}
+
+// PostProfile streams one encoded profile sketch (sketch.Encode's binary
+// wire form) to the daemon's fleet ingest. A 429 (ingest queue full)
+// surfaces as *APIError with Retryable set and RetryAfter carrying the
+// server's hint — the caller re-sends the same (cumulative) sketch later.
+func (c *Client) PostProfile(ctx context.Context, encoded []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/profiles", bytes.NewReader(encoded))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		var er ErrorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			apiErr.Message = er.Error
+			apiErr.Retryable = er.Retryable
+		}
+		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			apiErr.RetryAfter = time.Duration(sec) * time.Second
+		}
+		return apiErr
+	}
+	return nil
+}
+
+// Fleet fetches per-app fleet consensus and converge status.
+func (c *Client) Fleet(ctx context.Context) ([]fleet.AppStatus, error) {
+	var resp FleetResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/fleet", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Apps, nil
 }
 
 // MetricsText fetches the daemon's Prometheus exposition verbatim — the

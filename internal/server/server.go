@@ -16,7 +16,9 @@ import (
 	"critics"
 	"critics/internal/dist"
 	"critics/internal/exp"
+	"critics/internal/fleet"
 	"critics/internal/obs"
+	"critics/internal/sketch"
 	"critics/internal/telemetry"
 )
 
@@ -54,6 +56,12 @@ type Config struct {
 	// Logger receives structured request/job logs; nil discards them.
 	Logger *slog.Logger
 
+	// ProfileQueue bounds fleet profile sketches decoded but not yet merged
+	// into the per-app consensus (POST /v1/profiles). A full queue refuses
+	// submissions with 429 + Retry-After, mirroring the job queue's
+	// admission control. Default 256.
+	ProfileQueue int
+
 	// Coordinator, when set, distributes jobs' measurement units across its
 	// worker fleet (internal/dist) and mounts the fleet-management endpoints
 	// under /dist/v1/. Jobs fall back to pure local execution while the fleet
@@ -79,6 +87,7 @@ type Server struct {
 	metrics *metrics
 	obsv    *obs.Observer
 	caches  *critics.SharedCaches
+	fleet   *fleet.Service
 	mux     *http.ServeMux
 
 	// baseCtx parents every job context; cancelBase aborts in-flight jobs
@@ -133,6 +142,12 @@ func New(cfg Config) *Server {
 	if s.cfg.execute == nil {
 		s.cfg.execute = s.executePipeline
 	}
+	s.fleet = fleet.NewService(fleet.Config{
+		QueueSize: cfg.ProfileQueue,
+		Registry:  cfg.Registry,
+		Ring:      s.obsv.Ring,
+		Logger:    log,
+	})
 	if cfg.Coordinator != nil {
 		cfg.Coordinator.SetObserver(s.obsv)
 	}
@@ -165,6 +180,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		// After the job workers: a draining fleet job may still read the
+		// consensus, and the fleet drain is bounded (queue length × a
+		// microsecond-scale join).
+		s.fleet.Drain()
 		close(done)
 	}()
 	select {
@@ -310,6 +329,19 @@ func (s *Server) executePipeline(ctx context.Context, req SubmitRequest) ([]byte
 			return nil, err
 		}
 		res.Text = out
+	case KindFleet:
+		consensus, rev, ok := s.fleet.Consensus(req.App)
+		if !ok {
+			return nil, fmt.Errorf("no fleet consensus for app %q yet; devices must stream sketches to POST /v1/profiles first", req.App)
+		}
+		rep, err := critics.FleetConverge(ctx, req.App, consensus,
+			fleet.ConvergeOptions{Revision: rev, Service: s.fleet}, opts...)
+		if err != nil {
+			return nil, err
+		}
+		s.fleet.NoteConverge(req.App, rep)
+		res.Text = rep.String()
+		res.Report = rep
 	case KindTrace:
 		var buf strings.Builder
 		rep, err := critics.TraceAppContext(ctx, req.App, &buf, opts...)
@@ -339,6 +371,8 @@ func (s *Server) routes() *http.ServeMux {
 	handle("GET", "/v1/jobs/{id}/trace", s.handleTrace)
 	handle("GET", "/debug/events", s.handleEvents)
 	handle("DELETE", "/v1/jobs/{id}", s.handleCancel)
+	handle("POST", "/v1/profiles", s.handleProfiles)
+	handle("GET", "/v1/fleet", s.handleFleet)
 	handle("GET", "/v1/apps", s.handleApps)
 	handle("GET", "/v1/experiments", s.handleExperiments)
 	handle("GET", "/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -419,6 +453,42 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.metrics.queueDepth.Add(1)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// handleProfiles ingests one encoded profile sketch from a device. The body
+// is the sketch's canonical binary wire form — bounded by construction, so
+// fleet ingest memory is sketches, never traces. Admission mirrors the job
+// queue: a full ingest queue refuses with 429 + Retry-After and the device
+// re-sends its (cumulative, idempotently mergeable) sketch later.
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: "+err.Error(), false)
+		return
+	}
+	sk, err := sketch.Decode(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed sketch: "+err.Error(), false)
+		return
+	}
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining; retry against a live instance", true)
+		return
+	}
+	if !s.fleet.Offer(sk) {
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		writeErr(w, http.StatusTooManyRequests,
+			fmt.Sprintf("profile ingest queue full; retry after %ds", retryAfterSeconds), true)
+		return
+	}
+	s.fleet.AddBytes(len(body))
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted", "app": sk.App})
+}
+
+// handleFleet reports per-app fleet state: consensus revision and digest,
+// device estimate, and the last converge outcome.
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, FleetResponse{Apps: s.fleet.Status()})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -511,7 +581,7 @@ func normalize(req *SubmitRequest) string {
 		}
 	}
 	switch req.Kind {
-	case KindOptimize, KindProfile, KindTrace:
+	case KindOptimize, KindProfile, KindTrace, KindFleet:
 		if req.App == "" {
 			return fmt.Sprintf("%s jobs require an app name (GET /v1/apps lists them)", req.Kind)
 		}
@@ -528,7 +598,7 @@ func normalize(req *SubmitRequest) string {
 			return fmt.Sprintf("unknown experiment %q (valid: %s)", req.Experiment, strings.Join(critics.ExperimentIDs(), ", "))
 		}
 	default:
-		return fmt.Sprintf("unknown job kind %q (one of optimize, profile, experiment, trace)", req.Kind)
+		return fmt.Sprintf("unknown job kind %q (one of optimize, profile, experiment, trace, fleet)", req.Kind)
 	}
 	if req.TimeoutMS < 0 || req.Workers < 0 || req.MeasureInstrs < 0 {
 		return "timeout_ms, workers and measure_instrs must be non-negative"

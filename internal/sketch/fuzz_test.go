@@ -1,0 +1,73 @@
+package sketch
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// FuzzDecodeSketch hammers the wire decoder with arbitrary bytes: it must
+// never panic, and everything it accepts must be canonical — re-encoding a
+// decoded sketch reproduces the input byte-for-byte, and the decoded value
+// must survive a merge with itself without changing (idempotence holds for
+// every acceptable wire value, not just ones Encode produced).
+func FuzzDecodeSketch(f *testing.F) {
+	r := rand.New(rand.NewSource(5))
+	f.Add([]byte{})
+	f.Add([]byte("CSK"))
+	f.Add(magic[:])
+	f.Add(New("empty").Encode())
+	for i := 0; i < 4; i++ {
+		f.Add(randomSketch(r, "fuzz-seed").Encode())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc := s.Encode()
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted non-canonical input: re-encode differs (%d vs %d bytes)", len(enc), len(data))
+		}
+		c := s.Clone()
+		if c.Merge(s) {
+			t.Fatalf("self-merge of a decoded sketch reported a change")
+		}
+		if !bytes.Equal(c.Encode(), enc) {
+			t.Fatalf("self-merge changed the canonical bytes")
+		}
+		_ = s.Profile()
+		_ = s.DevicesEstimate()
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus when
+// SKETCH_FUZZ_CORPUS=1 — run after any wire-format change so CI's
+// fuzz-smoke leg starts from valid current-version sketches.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("SKETCH_FUZZ_CORPUS") == "" {
+		t.Skip("set SKETCH_FUZZ_CORPUS=1 to rewrite testdata/fuzz/FuzzDecodeSketch")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeSketch")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	seeds := map[string][]byte{
+		"seed-empty-sketch": New("empty").Encode(),
+		"seed-magic-only":   magic[:],
+	}
+	for i := 0; i < 4; i++ {
+		seeds[fmt.Sprintf("seed-random-%d", i)] = randomSketch(r, "fuzz-seed").Encode()
+	}
+	for name, data := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package sketch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The merge laws: Merge must be a lattice join — commutative, associative
+// and idempotent — so the consensus a coordinator folds is independent of
+// delivery order, duplication and re-sends. Each property is checked on the
+// canonical byte encoding, the strongest equality the wire form offers.
+
+func mergedEncode(sketches ...*Sketch) []byte {
+	acc := New("")
+	for _, s := range sketches {
+		acc.Merge(s)
+	}
+	return acc.Encode()
+}
+
+func TestMergeCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		a, b := randomSketch(r, "app"), randomSketch(r, "app")
+		if !bytes.Equal(mergedEncode(a, b), mergedEncode(b, a)) {
+			t.Fatalf("iteration %d: merge(a,b) != merge(b,a)", i)
+		}
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		a, b, c := randomSketch(r, "app"), randomSketch(r, "app"), randomSketch(r, "app")
+		ab := New("")
+		ab.Merge(a)
+		ab.Merge(b)
+		ab.Merge(c) // (a⊔b)⊔c
+		bc := New("")
+		bc.Merge(b)
+		bc.Merge(c)
+		acc := New("")
+		acc.Merge(a)
+		acc.Merge(bc) // a⊔(b⊔c)
+		if !bytes.Equal(ab.Encode(), acc.Encode()) {
+			t.Fatalf("iteration %d: (a⊔b)⊔c != a⊔(b⊔c)", i)
+		}
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 100; i++ {
+		a, b := randomSketch(r, "app"), randomSketch(r, "app")
+		once := mergedEncode(a, b)
+		many := mergedEncode(a, b, a, b, b, a) // duplicated deliveries
+		if !bytes.Equal(once, many) {
+			t.Fatalf("iteration %d: duplicated deliveries changed the consensus", i)
+		}
+		acc := New("")
+		acc.Merge(a)
+		if acc.Merge(a) {
+			t.Fatalf("iteration %d: re-merging an absorbed sketch reported a change", i)
+		}
+	}
+}
+
+func TestMergeSupersession(t *testing.T) {
+	// A device's later cumulative sketch dominates its earlier one, so
+	// delivering both (in either order) equals delivering just the later.
+	r := rand.New(rand.NewSource(19))
+	for i := 0; i < 50; i++ {
+		early := randomSketch(r, "app")
+		late := early.Clone()
+		extra := randomSketch(r, "app")
+		late.Merge(extra) // strictly-larger cumulative state
+		if !bytes.Equal(mergedEncode(early, late), late.Encode()) {
+			t.Fatalf("iteration %d: early+late != late", i)
+		}
+		if !bytes.Equal(mergedEncode(late, early), late.Encode()) {
+			t.Fatalf("iteration %d: late+early != late", i)
+		}
+	}
+}
+
+// TestConsensusPermutationInvariant is the closed-loop determinism property
+// at the sketch layer: N device sketches folded in any arrival order (with
+// random duplication) produce a byte-identical consensus — and therefore an
+// identical consensus profile and optimizer input.
+func TestConsensusPermutationInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	const devices = 16
+	fleet := make([]*Sketch, devices)
+	for i := range fleet {
+		fleet[i] = randomSketch(r, "app")
+	}
+	want := mergedEncode(fleet...)
+	for trial := 0; trial < 20; trial++ {
+		order := r.Perm(devices)
+		acc := New("")
+		for _, i := range order {
+			acc.Merge(fleet[i])
+			if r.Intn(3) == 0 { // chaos: duplicated delivery
+				acc.Merge(fleet[r.Intn(devices)])
+			}
+		}
+		// Every fleet member must be delivered at least once; duplicates
+		// above may have covered some early, deliver the rest again — joins
+		// make over-delivery free.
+		for _, s := range fleet {
+			acc.Merge(s)
+		}
+		if !bytes.Equal(acc.Encode(), want) {
+			t.Fatalf("trial %d: permuted ingest order changed the consensus bytes", trial)
+		}
+	}
+}

@@ -15,10 +15,7 @@ func RegisterBuildInfo(reg *Registry, component string) {
 	if reg == nil {
 		return
 	}
-	version := "devel"
-	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
-		version = bi.Main.Version
-	}
+	version := BuildVersion()
 	reg.Gauge("critics_build_info",
 		"Build identity of this process; the value is always 1.",
 		L("component", component),
@@ -26,4 +23,19 @@ func RegisterBuildInfo(reg *Registry, component string) {
 		L("go_version", runtime.Version()),
 		L("gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0))),
 	).Set(1)
+}
+
+// BuildVersion returns the binary's module version from build metadata, or
+// "devel" for an unstamped build — the string behind every command's
+// -version flag and the critics_build_info gauge's version label.
+func BuildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+// PrintVersion formats the standard "-version" line for a command.
+func PrintVersion(component string) string {
+	return component + " " + BuildVersion() + " (" + runtime.Version() + ")"
 }

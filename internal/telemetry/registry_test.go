@@ -123,6 +123,28 @@ func buildFixedRegistry() *Registry {
 	sh.ObserveExemplar(0.003, "j1")
 	sh.ObserveExemplar(0.9, "j2")
 	sh.ObserveExemplar(300, "j3") // lands in +Inf
+	// The fleet ingest families (internal/fleet pins the same names).
+	reg.Gauge("critics_fleet_queue_depth",
+		"Profile sketches admitted to the ingest queue and not yet merged.").Set(1)
+	reg.Counter("critics_fleet_rejected_total",
+		"Sketch submissions refused because the ingest queue was full.").Add(3)
+	reg.Counter("critics_fleet_sketch_bytes_total",
+		"Encoded sketch bytes accepted for ingest.").Add(8192)
+	fh := reg.Histogram("critics_fleet_merge_seconds",
+		"Latency of one consensus lattice join.", ExpBuckets(0.000001, 4, 10))
+	fh.Observe(0.00002)
+	fh.Observe(0.0001)
+	reg.Counter("critics_fleet_sketches_total",
+		"Profile sketches merged into the consensus, per app.", L("app", "acrobat")).Add(12)
+	reg.Gauge("critics_fleet_consensus_revision",
+		"Merges that changed the app's consensus sketch.", L("app", "acrobat")).Set(9)
+	reg.Gauge("critics_fleet_devices",
+		"Bottom-k (KMV) estimate of distinct devices contributing to the consensus.",
+		L("app", "acrobat")).Set(4)
+	reg.Counter("critics_fleet_generations_total",
+		"Optimizer generations completed, per app.", L("app", "acrobat")).Add(2)
+	reg.Gauge("critics_fleet_converged",
+		"1 when the last optimizer run converged on a winner, else 0.", L("app", "acrobat")).Set(1)
 	return reg
 }
 

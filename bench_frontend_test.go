@@ -1,0 +1,111 @@
+package critics
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"critics/internal/exp"
+	"critics/internal/layout"
+)
+
+// benchFrontendPolicy measures one quick-scale simulation of the CritIC
+// variant under one L1I replacement policy — the per-cell cost of the
+// fig-frontend grid. Context setup (program, profile, variant compilation)
+// is excluded from the timer so the number is simulation throughput, not
+// pipeline cost.
+func benchFrontendPolicy(b *testing.B, policy string) {
+	app := acrobatProgram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ctx := exp.QuickContext()
+		kind := exp.FrontendKind(exp.VarCritIC, "c3")
+		cfg := ctx.FrontendConfig(*app, kind, policy)
+		p, _ := ctx.Variant(*app, kind)
+		b.StartTimer()
+		ctx.Measure(p, cfg, false)
+	}
+}
+
+func BenchmarkFrontendPolicyLRU(b *testing.B)   { benchFrontendPolicy(b, "lru") }
+func BenchmarkFrontendPolicySRRIP(b *testing.B) { benchFrontendPolicy(b, "srrip") }
+func BenchmarkFrontendPolicyTRRIP(b *testing.B) { benchFrontendPolicy(b, "trrip") }
+
+// BenchmarkLayoutC3 measures the C³ clustering pass itself (edge fold, greedy
+// merge, relayout of the clone) — the one-time per-variant cost the layout
+// axis adds before any simulation runs.
+func BenchmarkLayoutC3(b *testing.B) {
+	app := acrobatProgram()
+	ctx := exp.QuickContext()
+	p, _ := ctx.Variant(*app, exp.VarCritIC)
+	prof := ctx.Profile(*app, false, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := layout.ApplyKind(p, prof, "c3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// frontendBenchReport is the schema of BENCH_frontend.json — the per-policy
+// simulation cost and the layout-pass cost, written by TestWriteFrontendBench
+// in CI.
+type frontendBenchReport struct {
+	GoMaxProcs int                        `json:"gomaxprocs"`
+	Policies   map[string]sweepBenchEntry `json:"policies"`
+	LayoutC3   sweepBenchEntry            `json:"layout_c3"`
+}
+
+// frontendPolicyOverheadCeiling bounds how much slower a non-lru policy may
+// simulate relative to lru. The policy seam is two interface calls per cache
+// event; srrip/trrip add RRPV updates and (trrip) a binary search over the
+// hint table per hit. 1.5x leaves room for noise on shared CI runners while
+// still catching an accidental per-access allocation or quadratic scan.
+const frontendPolicyOverheadCeiling = 1.5
+
+// TestWriteFrontendBench runs the front-end benchmarks once and writes
+// BENCH_frontend.json to the path named by the BENCH_FRONTEND_OUT environment
+// variable; unset, the test is skipped. It also asserts the policy-overhead
+// ceiling, so the CI step producing the trajectory file doubles as the
+// policy-seam performance guard.
+func TestWriteFrontendBench(t *testing.T) {
+	out := os.Getenv("BENCH_FRONTEND_OUT")
+	if out == "" {
+		t.Skip("BENCH_FRONTEND_OUT not set")
+	}
+	rep := frontendBenchReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Policies:   map[string]sweepBenchEntry{},
+	}
+	results := map[string]testing.BenchmarkResult{
+		"lru":   testing.Benchmark(BenchmarkFrontendPolicyLRU),
+		"srrip": testing.Benchmark(BenchmarkFrontendPolicySRRIP),
+		"trrip": testing.Benchmark(BenchmarkFrontendPolicyTRRIP),
+	}
+	for pol, r := range results {
+		rep.Policies[pol] = toEntry(r)
+	}
+	rep.LayoutC3 = toEntry(testing.Benchmark(BenchmarkLayoutC3))
+	if lru := results["lru"].NsPerOp(); lru > 0 {
+		for _, pol := range []string{"srrip", "trrip"} {
+			if ratio := float64(results[pol].NsPerOp()) / float64(lru); ratio > frontendPolicyOverheadCeiling {
+				t.Errorf("%s simulates %.2fx slower than lru, ceiling %.1fx", pol, ratio, frontendPolicyOverheadCeiling)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("frontend bench: lru %.1fms/op, srrip %.1fms/op, trrip %.1fms/op, c3 pass %.2fms/op",
+		rep.Policies["lru"].MsPerOp, rep.Policies["srrip"].MsPerOp,
+		rep.Policies["trrip"].MsPerOp, rep.LayoutC3.MsPerOp)
+}

@@ -40,6 +40,8 @@ func main() {
 		quick       = flag.Bool("quick", false, "reduced window sizes")
 		measureArch = flag.Int("measure-arch", 0, "measured window size in architectural instructions (0 = scale default; the streaming pipeline holds memory constant as this grows)")
 		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial; results identical)")
+		l1iPolicy   = flag.String("l1i-policy", "", "L1I replacement policy for -app runs (empty = lru baseline; see fig-frontend)")
+		codeLayout  = flag.String("code-layout", "", "profile-guided code-layout pass for -app runs (empty = program order)")
 		cacheStats  = flag.Bool("cache-stats", false, "print memo-cache hit/miss counters after the run")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while running")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
@@ -64,6 +66,15 @@ func main() {
 	if *measureArch > 0 {
 		// After -quick so an explicit window wins over the scale preset.
 		opts = append(opts, critics.WithMeasureInstrs(*measureArch))
+	}
+	if *l1iPolicy != "" || *codeLayout != "" {
+		if *l1iPolicy != "" {
+			requireValidName("L1I policy", *l1iPolicy, critics.FrontendPolicies())
+		}
+		if *codeLayout != "" {
+			requireValidName("code layout", *codeLayout, critics.CodeLayouts())
+		}
+		opts = append(opts, critics.WithFrontend(*l1iPolicy, *codeLayout))
 	}
 	opts = append(opts, critics.WithWorkers(*workers), critics.WithTelemetry(reg))
 

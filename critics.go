@@ -34,6 +34,7 @@ import (
 	"critics/internal/energy"
 	"critics/internal/exp"
 	"critics/internal/fleet"
+	"critics/internal/layout"
 	"critics/internal/sched"
 	"critics/internal/sketch"
 	"critics/internal/telemetry"
@@ -109,6 +110,26 @@ func WithMeasureInstrs(n int) Option {
 func WithWorkers(n int) Option {
 	return func(c *exp.Context) { c.Workers = n }
 }
+
+// WithFrontend selects the front-end machine/binary variant the pipeline
+// simulates: an L1I replacement policy (FrontendPolicies; "" keeps the
+// Table I lru baseline) and a profile-guided code-layout pass run after the
+// CritIC compiler (CodeLayouts; "" keeps the generator's program order).
+// Both apply to the baseline and CritIC measurements alike, so reported
+// speedups stay like-for-like. Invalid names surface as errors from the
+// call the option is passed to.
+func WithFrontend(policy, layout string) Option {
+	return func(c *exp.Context) {
+		c.L1IPolicy = policy
+		c.CodeLayout = layout
+	}
+}
+
+// FrontendPolicies lists the selectable L1I replacement policies.
+func FrontendPolicies() []string { return exp.FrontendPolicies() }
+
+// CodeLayouts lists the selectable profile-guided code-layout passes.
+func CodeLayouts() []string { return layout.Kinds() }
 
 // WithTelemetry attaches a metrics registry: simulator stall attribution,
 // cache/BPU event counts, memo-cache and pool state, and per-experiment
@@ -226,6 +247,11 @@ func optimizeApp(ctx context.Context, name string, collect bool, opts ...Option)
 	defer recoverCancelled(ctx, &err)
 	ec := newCtx(opts...)
 	ec.SetRunContext(ctx)
+	if err := exp.ValidateFrontend(ec.L1IPolicy, ec.CodeLayout); err != nil {
+		return nil, nil, fmt.Errorf("critics: %w", err)
+	}
+	baseKind := exp.FrontendKind(exp.VarBase, ec.CodeLayout)
+	critKind := exp.FrontendKind(exp.VarCritIC, ec.CodeLayout)
 
 	// Each stage may return a zero value when ctx is cancelled mid-build, so
 	// cancellation is checked before any stage output is consumed.
@@ -237,16 +263,16 @@ func optimizeApp(ctx context.Context, name string, collect bool, opts ...Option)
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	optimized, st := ec.Variant(app, exp.VarCritIC)
+	optimized, st := ec.Variant(app, critKind)
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 
-	mBase := ec.MeasureVariant(app, exp.VarBase, cpu.DefaultConfig(), collect)
+	mBase := ec.MeasureVariant(app, baseKind, ec.FrontendConfig(app, baseKind, ec.L1IPolicy), collect)
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	mOpt := ec.MeasureVariant(app, exp.VarCritIC, cpu.DefaultConfig(), collect)
+	mOpt := ec.MeasureVariant(app, critKind, ec.FrontendConfig(app, critKind, ec.L1IPolicy), collect)
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -307,8 +333,10 @@ func TraceAppContext(ctx context.Context, name string, w io.Writer, opts ...Opti
 		return nil, err
 	}
 	app, _ := workload.FindApp(name)
-	mBase := ec.MeasureVariant(app, exp.VarBase, cpu.DefaultConfig(), true)
-	mOpt := ec.MeasureVariant(app, exp.VarCritIC, cpu.DefaultConfig(), true)
+	baseKind := exp.FrontendKind(exp.VarBase, ec.CodeLayout)
+	critKind := exp.FrontendKind(exp.VarCritIC, ec.CodeLayout)
+	mBase := ec.MeasureVariant(app, baseKind, ec.FrontendConfig(app, baseKind, ec.L1IPolicy), true)
+	mOpt := ec.MeasureVariant(app, critKind, ec.FrontendConfig(app, critKind, ec.L1IPolicy), true)
 	cpu.ExportWindow(tr, baselinePID, name+" baseline pipeline (ts in cycles)", mBase.Dyns, mBase.Res.Records)
 	cpu.ExportWindow(tr, criticPID, name+" critic pipeline (ts in cycles)", mOpt.Dyns, mOpt.Res.Records)
 	if err := tr.Close(); err != nil {

@@ -4,35 +4,84 @@
 // sitting at the L2, and the EFetch instruction prefetcher (§IV-G) — plus
 // the LPDDR3 controller behind them (internal/dram).
 //
-// Timing model: caches are set-associative with LRU replacement; each line
-// carries a readyAt timestamp so in-flight fills and prefetches give partial
-// hits (an access to a line still being filled waits for the fill). The CPU
-// model charges only latencies above the pipelined hit time.
+// Timing model: caches are set-associative with a pluggable replacement
+// policy (Config.Policy; LRU by default, see policy.go); each line carries a
+// readyAt timestamp so in-flight fills and prefetches give partial hits (an
+// access to a line still being filled waits for the fill). The CPU model
+// charges only latencies above the pipelined hit time.
 package cache
 
-import "critics/internal/dram"
+import (
+	"fmt"
+
+	"critics/internal/dram"
+)
 
 // LineBytes is the line size used throughout the hierarchy.
 const LineBytes = 64
 
-// Config describes one cache level.
+// Config describes one cache level. The zero Policy selects lru, keeping
+// the zero-config behavior identical to the pre-policy-seam simulator.
 type Config struct {
 	SizeBytes int
 	Ways      int
 	HitLat    int64
+
+	// Policy names the replacement policy (policy.go registry): "" or
+	// "lru", "srrip", "trrip". Part of measurement cache identity.
+	Policy string
 }
 
-type line struct {
+// Validate rejects degenerate level configurations with a clear error
+// instead of the historical silent behavior (Ways <= 0 divided by zero
+// sizing the sets; non-power-of-two set counts were rounded down without
+// notice, quietly shrinking the cache).
+func (cfg Config) Validate() error {
+	if cfg.Ways <= 0 {
+		return fmt.Errorf("cache: ways must be >= 1 (got %d)", cfg.Ways)
+	}
+	if cfg.SizeBytes < cfg.Ways*LineBytes {
+		return fmt.Errorf("cache: size %dB cannot hold one set of %d %dB ways", cfg.SizeBytes, cfg.Ways, LineBytes)
+	}
+	if cfg.SizeBytes%(cfg.Ways*LineBytes) != 0 {
+		return fmt.Errorf("cache: size %dB is not a multiple of ways*line = %dB", cfg.SizeBytes, cfg.Ways*LineBytes)
+	}
+	nsets := cfg.SizeBytes / (cfg.Ways * LineBytes)
+	if nsets&(nsets-1) != 0 {
+		return fmt.Errorf("cache: %dB/%d-way gives %d sets; the indexer needs a power of two (it used to round down silently)", cfg.SizeBytes, cfg.Ways, nsets)
+	}
+	if cfg.HitLat < 0 {
+		return fmt.Errorf("cache: negative hit latency %d", cfg.HitLat)
+	}
+	if _, err := newPolicy(cfg.Policy, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Line is one cache line. Tag matching and fill timing (the unexported
+// fields) belong to the Cache; LastUse and RRPV are the replacement state a
+// Policy owns.
+type Line struct {
 	tag     uint32
 	valid   bool
 	readyAt int64
-	lastUse int64
+
+	LastUse int64 // recency timestamp (lru)
+	RRPV    uint8 // 2-bit re-reference prediction value (srrip/trrip)
 }
 
-// Cache is one set-associative cache with LRU replacement.
+// Valid reports whether the line holds data.
+func (l *Line) Valid() bool { return l.valid }
+
+// ReadyAt returns the cycle the line's fill completes (partial-hit floor).
+func (l *Line) ReadyAt() int64 { return l.readyAt }
+
+// Cache is one set-associative cache with a pluggable replacement policy.
 type Cache struct {
 	cfg   Config
-	sets  [][]line
+	pol   Policy
+	sets  [][]Line
 	shift uint
 	mask  uint32
 
@@ -41,25 +90,31 @@ type Cache struct {
 	Misses   int64
 }
 
-// NewCache builds a cache; sets are derived from size/ways/line.
-func NewCache(cfg Config) *Cache {
+// NewCache builds a cache; sets are derived from size/ways/line. The config
+// must pass Validate — levels are sized by experiment code, so a degenerate
+// config is a programming error and panics with Validate's message.
+// Temperature-hinted policies get no hints here; NewHierarchy threads them.
+func NewCache(cfg Config) *Cache { return newCacheHints(cfg, nil) }
+
+func newCacheHints(cfg Config, temps *TempHints) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	pol, err := newPolicy(cfg.Policy, temps)
+	if err != nil {
+		panic(err)
+	}
 	nsets := cfg.SizeBytes / (cfg.Ways * LineBytes)
-	if nsets < 1 {
-		nsets = 1
-	}
-	// Round down to a power of two for cheap indexing.
-	p := 1
-	for p*2 <= nsets {
-		p *= 2
-	}
-	nsets = p
-	c := &Cache{cfg: cfg, sets: make([][]line, nsets), mask: uint32(nsets - 1)}
+	c := &Cache{cfg: cfg, pol: pol, sets: make([][]Line, nsets), mask: uint32(nsets - 1)}
 	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+		c.sets[i] = make([]Line, cfg.Ways)
 	}
 	c.shift = 6 // log2(LineBytes)
 	return c
 }
+
+// Policy exposes the cache's replacement policy (tests, diagnostics).
+func (c *Cache) Policy() Policy { return c.pol }
 
 // lookup finds the way holding addr's line, or -1.
 func (c *Cache) lookup(addr uint32) (set uint32, way int) {
@@ -93,7 +148,7 @@ func (c *Cache) Access(addr uint32, now int64) (bool, int64) {
 		return false, 0
 	}
 	l := &c.sets[set][way]
-	l.lastUse = now
+	c.pol.Hit(l, now)
 	ready := now + c.cfg.HitLat
 	if l.readyAt > ready {
 		ready = l.readyAt
@@ -101,24 +156,25 @@ func (c *Cache) Access(addr uint32, now int64) (bool, int64) {
 	return true, ready
 }
 
-// Install fills addr's line, available at readyAt, evicting LRU.
+// Install fills addr's line, available at readyAt. Invalid ways fill first
+// (in way order, matching the pre-seam scan); a full set evicts the policy's
+// victim.
 func (c *Cache) Install(addr uint32, readyAt int64) {
 	lineAddr := addr >> c.shift
 	set := lineAddr & c.mask
-	victim := 0
-	var oldest int64 = 1<<63 - 1
+	victim := -1
 	for w := range c.sets[set] {
-		l := &c.sets[set][w]
-		if !l.valid {
+		if !c.sets[set][w].valid {
 			victim = w
 			break
 		}
-		if l.lastUse < oldest {
-			oldest = l.lastUse
-			victim = w
-		}
 	}
-	c.sets[set][victim] = line{tag: lineAddr, valid: true, readyAt: readyAt, lastUse: readyAt}
+	if victim < 0 {
+		victim = c.pol.Victim(c.sets[set])
+	}
+	l := &c.sets[set][victim]
+	*l = Line{tag: lineAddr, valid: true, readyAt: readyAt, LastUse: readyAt}
+	c.pol.Install(l, lineAddr, readyAt)
 }
 
 // MissRate returns misses/accesses.
@@ -186,35 +242,60 @@ func (c *CLPT) Train(pc, addr uint32) uint32 {
 // EFetch is the call-stack-driven instruction prefetcher of §IV-G ([71]): it
 // learns which function a call site transfers to and, when the site is seen
 // again, prefetches the first lines of the predicted callee. (The paper's
-// version keys on user-event call-stack history with a 39KB table; keying on
-// the call-site PC captures the same next-function locality for our
-// single-threaded traces.)
+// version keys on user-event call-stack history with a fixed 39KB table;
+// keying on the call-site PC captures the same next-function locality for
+// our single-threaded traces.)
+//
+// The table is a fixed-size direct-mapped array — EFetchEntries tagged
+// (site, callee) pairs — matching the paper's fixed hardware budget rather
+// than the unbounded map it used to be. A call site whose slot is held by a
+// conflicting site simply overwrites it on Train: eviction is deterministic
+// (last trainer wins), so simulations stay bit-identical for every worker
+// count and batching strategy.
 type EFetch struct {
-	table map[uint32]uint32 // call-site PC -> callee entry address
-	depth int               // lines prefetched per prediction
+	table []efetchEntry
+	mask  uint32
+	depth int // lines prefetched per prediction
 
 	Predictions int64
 }
 
+type efetchEntry struct {
+	site   uint32 // call-site PC tag (full PC: cheap and unambiguous)
+	callee uint32 // predicted callee entry address
+}
+
+// EFetchEntries is the direct-mapped table size: 4096 8-byte entries (32KB
+// of payload — the same order as the paper's 39KB structure once tags and
+// valid bits are accounted).
+const EFetchEntries = 4096
+
 // NewEFetch builds the prefetcher; depth is the number of 64B lines warmed
 // per predicted callee.
 func NewEFetch(depth int) *EFetch {
-	return &EFetch{table: make(map[uint32]uint32), depth: depth}
+	return &EFetch{table: make([]efetchEntry, EFetchEntries), mask: EFetchEntries - 1, depth: depth}
 }
 
-// Predict returns the predicted callee entry for a call site (0 if unknown).
+// slot indexes the direct-mapped table (call sites are >= 2-byte aligned).
+func (e *EFetch) slot(sitePC uint32) *efetchEntry {
+	return &e.table[(sitePC>>1)&e.mask]
+}
+
+// Predict returns the predicted callee entry for a call site (0 if unknown
+// or if the site's slot was taken over by a conflicting site).
 func (e *EFetch) Predict(sitePC uint32) uint32 {
-	t, ok := e.table[sitePC]
-	if !ok {
+	s := e.slot(sitePC)
+	if s.callee == 0 || s.site != sitePC {
 		return 0
 	}
 	e.Predictions++
-	return t
+	return s.callee
 }
 
-// Train records the observed callee of a call site.
+// Train records the observed callee of a call site, overwriting whatever
+// occupied the site's slot.
 func (e *EFetch) Train(sitePC, callee uint32) {
-	e.table[sitePC] = callee
+	*e.slot(sitePC) = efetchEntry{site: sitePC, callee: callee}
 }
 
 // Depth returns the configured prefetch depth in lines.
@@ -229,7 +310,34 @@ type HierConfig struct {
 	CLPTEntries int // 0 disables the L2 data prefetcher
 	EFetchDepth int // 0 disables the instruction prefetcher
 
+	// Temps carries profile-derived code-temperature hints to
+	// temperature-aware replacement policies (trrip). The zero value hints
+	// nothing, which degrades trrip to srrip. A fixed-capacity value type:
+	// it participates in measurement memo keys and the distributed wire
+	// form like every other field here.
+	Temps TempHints
+
 	DRAM dram.Config
+}
+
+// Validate rejects degenerate hierarchy configurations with an error naming
+// the offending level.
+func (cfg HierConfig) Validate() error {
+	for _, lv := range []struct {
+		name string
+		c    Config
+	}{{"L1I", cfg.L1I}, {"L1D", cfg.L1D}, {"L2", cfg.L2}} {
+		if err := lv.c.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", lv.name, err)
+		}
+	}
+	if cfg.CLPTEntries < 0 {
+		return fmt.Errorf("cache: negative CLPT entry count %d", cfg.CLPTEntries)
+	}
+	if cfg.EFetchDepth < 0 {
+		return fmt.Errorf("cache: negative EFetch depth %d", cfg.EFetchDepth)
+	}
+	return cfg.Temps.validate()
 }
 
 // DefaultHierConfig matches Table I.
@@ -250,16 +358,22 @@ type Hierarchy struct {
 	DRAM         *dram.Controller
 	CLPT         *CLPT
 	EFetch       *EFetch
+
+	temps TempHints // hierarchy-owned copy the policies point into
 }
 
-// NewHierarchy builds the hierarchy from cfg.
+// NewHierarchy builds the hierarchy from cfg. Like NewCache, a config that
+// fails Validate is a programming error and panics with its message;
+// experiment entry points (and the distributed execute path) validate
+// upstream and return the error instead.
 func NewHierarchy(cfg HierConfig) *Hierarchy {
-	h := &Hierarchy{
-		L1I:  NewCache(cfg.L1I),
-		L1D:  NewCache(cfg.L1D),
-		L2:   NewCache(cfg.L2),
-		DRAM: dram.New(cfg.DRAM),
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
+	h := &Hierarchy{temps: cfg.Temps, DRAM: dram.New(cfg.DRAM)}
+	h.L1I = newCacheHints(cfg.L1I, &h.temps)
+	h.L1D = newCacheHints(cfg.L1D, &h.temps)
+	h.L2 = newCacheHints(cfg.L2, &h.temps)
 	if cfg.CLPTEntries > 0 {
 		h.CLPT = NewCLPT(cfg.CLPTEntries)
 	}

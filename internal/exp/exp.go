@@ -26,6 +26,7 @@ import (
 	"critics/internal/core"
 	"critics/internal/cpu"
 	"critics/internal/dfg"
+	"critics/internal/layout"
 	"critics/internal/obs"
 	"critics/internal/prog"
 	"critics/internal/sched"
@@ -76,6 +77,15 @@ type Context struct {
 	// per-variant MeasureVariant path — the serial reference schedule the
 	// batched-equivalence tests compare the lockstep builds against.
 	serialSweeps bool
+
+	// L1IPolicy and CodeLayout select the front-end configuration of the
+	// single-app pipeline (critics.OptimizeApp/TraceApp; see frontend.go).
+	// Zero values are the defaults — lru replacement, generator-order
+	// layout — and leave every memo key and result bit-identical to a
+	// context without them. Experiment runners ignore these: sweeps own
+	// their axes (fig-frontend sweeps both).
+	L1IPolicy  string
+	CodeLayout string
 
 	// Observability hooks (telemetry.go); both nil by default, costing the
 	// engine nothing.
@@ -259,7 +269,9 @@ const (
 // Variant returns (and caches) a compiled variant of an app's program.
 // For CritIC variants with a length cap other than 5, use kind
 // "critic-len-N" (exactly-length-N selection, Fig. 12a) or
-// "critic-frac-F" (profiling fraction, Fig. 12b with F in percent).
+// "critic-frac-F" (profiling fraction, Fig. 12b with F in percent). Any
+// kind may carry a "+lay-<pass>" suffix (FrontendKind) selecting a
+// profile-guided code-layout pass applied after compilation.
 // The kind string names the compiler configuration; the cache key adds the
 // generator parameters and the profiling plan the variant's profile
 // depends on.
@@ -273,6 +285,18 @@ func (c *Context) Variant(a workload.App, kind string) (*prog.Program, compiler.
 }
 
 func (c *Context) buildVariant(a workload.App, kind string) (*prog.Program, compiler.Stats) {
+	// A "+lay-<pass>" suffix re-lays the inner variant's code after
+	// compilation: the inner variant is fetched through the memo (so e.g.
+	// "critic" and "critic+lay-c3" share one compile), then cloned and
+	// re-addressed by internal/layout under the app's standard profile.
+	if inner, lay, ok := splitLayoutKind(kind); ok {
+		p, st := c.Variant(a, inner)
+		q, err := layout.ApplyKind(p, c.Profile(a, false, 1), lay)
+		if err != nil {
+			panic(fmt.Sprintf("exp: laying out %s/%s: %v", a.Params.Name, kind, err))
+		}
+		return q, st
+	}
 	base := c.Program(a)
 	var (
 		q   *prog.Program
@@ -592,6 +616,12 @@ type Remote interface {
 func ExecuteMeasure(ctx context.Context, req MeasureRequest, caches *Caches, workers int) (m *Measurement, err error) {
 	if caches == nil {
 		caches = NewCaches()
+	}
+	// A malformed hierarchy (zero ways, unknown policy, bad temp hints) would
+	// otherwise panic deep in cache construction on the worker; requests come
+	// off the wire, so refuse them with an error instead.
+	if verr := req.Config.Hier.Validate(); verr != nil {
+		return nil, fmt.Errorf("exp: measurement %s/%s config invalid: %w", req.App.Name, req.Kind, verr)
 	}
 	c := &Context{
 		Seed:        req.Seed,

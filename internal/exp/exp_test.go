@@ -121,7 +121,7 @@ func TestTables(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(IDs()) != 21 {
+	if len(IDs()) != 22 {
 		t.Errorf("registry has %d ids", len(IDs()))
 	}
 	if _, err := Run("nope", shared); err == nil {

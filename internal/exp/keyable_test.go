@@ -12,6 +12,8 @@ import (
 var variantKinds = []string{
 	VarBase, VarHoist, VarCritIC, VarCritICIdeal, VarCritICBranch,
 	VarOPP16, VarCompress, VarOPP16CritIC,
+	// Layout-composed kinds (the front-end sweep axis rides in the kind).
+	VarCritIC + LayoutSuffix + "c3", VarBase + LayoutSuffix + "hot",
 }
 
 // TestKeyedTypesAreKeyable walks every struct type this package passes to
@@ -37,6 +39,14 @@ func TestKeyedTypesAreKeyable(t *testing.T) {
 	kcfg.Metrics = nil // stripped before keying, exactly as MeasureVariant does
 	if err := sched.AssertKeyable(kcfg); err != nil {
 		t.Errorf("cpu.Config (telemetry stripped): %v", err)
+	}
+	// A temperature-hinted config (trrip cells of fig-frontend) must key too:
+	// TempHints is a fixed array precisely so this passes.
+	tcfg := cpu.DefaultConfig()
+	tcfg.Hier.L1I.Policy = "trrip"
+	tcfg.Hier.Temps.Add(0, 4096, 3)
+	if err := sched.AssertKeyable(tcfg); err != nil {
+		t.Errorf("cpu.Config with temp hints: %v", err)
 	}
 	if err := sched.AssertKeyable(c.ProfilePlan); err != nil {
 		t.Errorf("trace.SamplePlan: %v", err)

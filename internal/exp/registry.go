@@ -37,6 +37,9 @@ var registry = map[string]Runner{
 	// Ablations beyond the paper's own (DESIGN.md "Ablations called out").
 	"ablate-fetch": func(c *Context) string { return RunAblateFetch(c).String() },
 	"ablate-cdp":   func(c *Context) string { return RunAblateCDP(c).String() },
+
+	// Front-end co-optimization sweep (DESIGN.md "Front-end model").
+	"fig-frontend": func(c *Context) string { return RunFigFrontend(c).String() },
 }
 
 // IDs returns all experiment ids in sorted order.

@@ -225,9 +225,36 @@ func (p *Program) Clone() *Program {
 // instruction aligned (the pad is dead bytes the fetch stage still brings
 // in, so Thumb only pays off for runs long enough — exactly the trade-off
 // the paper discusses for short chains).
-func (p *Program) Layout() {
+func (p *Program) Layout() { p.LayoutOrder(nil) }
+
+// LayoutOrder is Layout with an explicit function emission order: order is a
+// permutation of function ids, and addresses are assigned walking functions
+// in that sequence. The Funcs slice itself never moves (Validate pins
+// Func.ID == index, and profiles key chains by function index), so a
+// layout pass changes only where code lands, not what executes — trace
+// randomness keys on instruction UIDs, which relayout preserves. nil means
+// program order, which is exactly Layout. A malformed order (wrong length,
+// repeated id) is a programming error and panics; internal/layout validates
+// and returns errors upstream.
+func (p *Program) LayoutOrder(order []int) {
+	if order != nil {
+		if len(order) != len(p.Funcs) {
+			panic(fmt.Sprintf("prog: layout order has %d entries for %d functions", len(order), len(p.Funcs)))
+		}
+		seen := make([]bool, len(p.Funcs))
+		for _, fi := range order {
+			if fi < 0 || fi >= len(p.Funcs) || seen[fi] {
+				panic(fmt.Sprintf("prog: layout order is not a permutation (function %d)", fi))
+			}
+			seen[fi] = true
+		}
+	}
 	var addr uint32
-	for _, f := range p.Funcs {
+	for i := range p.Funcs {
+		f := p.Funcs[i]
+		if order != nil {
+			f = p.Funcs[order[i]]
+		}
 		// Functions start 64-byte aligned (cache-line aligned), which
 		// models the ART compiler's method alignment and gives the
 		// i-cache deterministic line populations.

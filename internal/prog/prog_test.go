@@ -330,3 +330,51 @@ func TestAtAndNumInstrs(t *testing.T) {
 		t.Errorf("InstID.String() = %q", got)
 	}
 }
+
+func TestLayoutOrderPermutes(t *testing.T) {
+	p := twoFuncProgram()
+	p.Layout()
+	identityBytes := p.CodeBytes
+	mainEntry := p.Funcs[0].Blocks[0].Instrs[0].Addr
+
+	q := p.Clone()
+	q.LayoutOrder([]int{1, 0}) // f1 first, main second
+	if q.CodeBytes != identityBytes {
+		t.Errorf("CodeBytes %d -> %d under a permutation", identityBytes, q.CodeBytes)
+	}
+	if got := q.Funcs[1].Blocks[0].Instrs[0].Addr; got != 0 {
+		t.Errorf("first-emitted function starts at %d, want 0", got)
+	}
+	if got := q.Funcs[0].Blocks[0].Instrs[0].Addr; got == mainEntry && mainEntry == 0 {
+		t.Error("second-emitted function still at address 0")
+	}
+	// Structure untouched: ids still index-aligned, program still valid.
+	for i, f := range q.Funcs {
+		if f.ID != i {
+			t.Fatalf("func %d has id %d after LayoutOrder", i, f.ID)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("reordered program invalid: %v", err)
+	}
+	// Nil order is the identity layout.
+	r := p.Clone()
+	r.LayoutOrder(nil)
+	if r.Funcs[0].Blocks[0].Instrs[0].Addr != mainEntry {
+		t.Error("nil order moved the entry function")
+	}
+}
+
+func TestLayoutOrderRejectsBadOrder(t *testing.T) {
+	for _, order := range [][]int{{0}, {0, 0}, {0, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LayoutOrder(%v) accepted", order)
+				}
+			}()
+			p := twoFuncProgram()
+			p.LayoutOrder(order)
+		}()
+	}
+}

@@ -145,6 +145,13 @@ func buildFixedRegistry() *Registry {
 		"Optimizer generations completed, per app.", L("app", "acrobat")).Add(2)
 	reg.Gauge("critics_fleet_converged",
 		"1 when the last optimizer run converged on a winner, else 0.", L("app", "acrobat")).Set(1)
+	fe := []Label{L("policy", "trrip"), L("layout", "c3")}
+	reg.Counter("critics_frontend_measurements_total",
+		"Front-end sweep measurements taken, by policy and layout.", fe...).Add(10)
+	reg.Gauge("critics_frontend_l1i_miss_bp",
+		"Mean L1I miss rate of the front-end sweep cell, basis points (1/100 percent).", fe...).Set(376)
+	reg.Gauge("critics_frontend_fetch_stall_bp",
+		"Mean F.StallForI share of the stage dwell for the front-end sweep cell, basis points.", fe...).Set(913)
 	return reg
 }
 

@@ -12,6 +12,9 @@
 //	criticctl result j000001 -o result.json
 //	criticctl cancel j000001
 //	criticctl bench -n 16 -c 4 -app acrobat -quick # throughput + latency
+//	criticctl scan -app acrobat                    # source-free missed-CritIC scan
+//	criticctl scan -app acrobat -local             # same report, computed in-process
+//	criticctl artifacts list                       # content-addressed store contents
 //	criticctl workers                              # dist fleet status
 //	criticctl fleet status                         # device-fleet consensus state
 //	criticctl fleet converge acrobat               # run the fleet PGO optimizer
@@ -47,6 +50,10 @@ commands:
   workers      print the distributed-execution fleet status (-dist daemons)
   trace        fetch a job's span tree   (criticctl trace <id> [-chrome] [-o file])
   events       print flight-recorder events (criticctl events [-job id])
+  scan         source-free scan of a binary image + trace for missed CritICs
+               (-app NAME to assemble one, or -image/-trace files; -local
+               computes in-process and is byte-identical to daemon dispatch)
+  artifacts    content-addressed store: list, stat <digest>, gc
   fleet        fleet PGO loop: status, converge <app> (see criticfleet for devices)
   slo          assert stage latency quantiles (criticctl slo -target e2e:p95<=2.5s)
   top          one-shot fleet snapshot: jobs, stage latencies, workers
@@ -157,6 +164,10 @@ func main() {
 		}
 		os.Stdout.Write(raw)
 		fmt.Println()
+	case "scan":
+		cmdScan(ctx, c, args)
+	case "artifacts":
+		cmdArtifacts(ctx, c, args)
 	case "fleet":
 		cmdFleet(ctx, c, args)
 	case "slo":

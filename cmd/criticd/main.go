@@ -55,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"critics/internal/artifact"
 	"critics/internal/dist"
 	"critics/internal/server"
 	"critics/internal/telemetry"
@@ -70,6 +71,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "grace for in-flight jobs at shutdown")
 		profileQueue = flag.Int("profile-queue", 256, "bounded fleet profile-sketch ingest queue (full queue refuses POST /v1/profiles with 429)")
 		quick        = flag.Bool("quick", false, "force reduced-scale windows for every job")
+		artifactDir  = flag.String("artifact-dir", "", "directory backing the content-addressed artifact store (persists across restarts; empty = temp dir removed at exit). Worker mode: the local warm cache for scan artifacts")
 		traceOut     = flag.String("trace-out", "", "write engine-level Chrome trace-event JSON here, flushed complete on graceful drain")
 		verbose      = flag.Bool("v", false, "structured request/job log on stderr")
 
@@ -91,12 +93,25 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	if *worker {
-		runWorker(logger, *addr, *coordinator, *advertise, *capacity, *jobWorkers, *failFirst, *drainTimeout)
+		runWorker(logger, *addr, *coordinator, *advertise, *artifactDir, *capacity, *jobWorkers, *failFirst, *drainTimeout)
 		return
 	}
 
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterBuildInfo(reg, "criticd")
+
+	// -artifact-dir persists the store across restarts (Open re-adopts the
+	// blobs on disk); without it the server creates a temp store it removes
+	// at shutdown.
+	var store *artifact.Store
+	if *artifactDir != "" {
+		var err error
+		store, err = artifact.Open(artifact.Config{Dir: *artifactDir, Registry: reg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "criticd:", err)
+			os.Exit(1)
+		}
+	}
 
 	// The tracer streams spans for the daemon's whole lifetime; closeTrace
 	// terminates the JSON document. It runs after Shutdown on every exit
@@ -141,6 +156,7 @@ func main() {
 		Tracer:       tracer,
 		Logger:       logger,
 		Coordinator:  coord,
+		Artifacts:    store,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -199,15 +215,30 @@ func main() {
 // runWorker is criticd -worker: serve the dist task API, optionally announce
 // to a coordinator, and on SIGINT/SIGTERM deregister, finish in-flight tasks
 // and exit.
-func runWorker(logger *slog.Logger, addr, coordURL, advertise string, capacity, jobWorkers, failFirst int, drainTimeout time.Duration) {
+func runWorker(logger *slog.Logger, addr, coordURL, advertise, artifactDir string, capacity, jobWorkers, failFirst int, drainTimeout time.Duration) {
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterBuildInfo(reg, "criticd-worker")
+	coordURL = strings.TrimRight(coordURL, "/")
+	// The worker's artifact store is its warm cache for scan inputs; a
+	// -artifact-dir shared across restarts makes a recycled worker start
+	// warm. Missing artifacts are fetched from the coordinator by digest.
+	var store *artifact.Store
+	if artifactDir != "" {
+		var err error
+		store, err = artifact.Open(artifact.Config{Dir: artifactDir, Registry: reg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "criticd:", err)
+			os.Exit(1)
+		}
+	}
 	wk := dist.NewWorker(dist.WorkerConfig{
 		Workers:        jobWorkers,
 		Capacity:       capacity,
 		Registry:       reg,
 		Logger:         logger,
 		FailFirstTasks: failFirst,
+		Artifacts:      store,
+		ArtifactSource: coordURL,
 	})
 
 	mux := http.NewServeMux()
@@ -232,7 +263,6 @@ func runWorker(logger *slog.Logger, addr, coordURL, advertise string, capacity, 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
-	coordURL = strings.TrimRight(coordURL, "/")
 	if coordURL != "" {
 		regCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
 		if err := dist.Register(regCtx, nil, coordURL, advertise, capacity); err != nil {

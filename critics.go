@@ -28,6 +28,7 @@ import (
 	"io"
 	"strings"
 
+	"critics/internal/binimg"
 	"critics/internal/compiler"
 	"critics/internal/core"
 	"critics/internal/cpu"
@@ -181,6 +182,15 @@ func NewSharedCaches() *SharedCaches {
 
 // Stats reports the bundle's hit/miss counters.
 func (s *SharedCaches) Stats() exp.CacheStats { return s.caches.Stats() }
+
+// EnableMeasurementSpill routes measurement-cache values the retention
+// budget would drop through st — typically an artifact-store adapter
+// (artifact.NewMemoSpill) — so a long-lived service degrades to
+// decode-from-store instead of re-simulation. Call before the bundle sees
+// traffic.
+func (s *SharedCaches) EnableMeasurementSpill(st sched.SpillStore) {
+	s.caches.EnableMeasurementSpill(st)
+}
 
 // WithSharedCaches makes the call reuse (and populate) the shared bundle
 // instead of a private per-call cache. Results are unchanged — caching only
@@ -459,6 +469,30 @@ func CompileWithProfile(name string, prof *core.Profile) (compiler.Stats, error)
 	p := workload.Generate(app.Params)
 	_, st, err := compiler.ApplyCritIC(p, prof, compiler.Options{MaxLen: 5, Switch: compiler.SwitchCDP})
 	return st, err
+}
+
+// ScanInputs assembles an app's unoptimized binary image and a window of n
+// executed instruction addresses — the (image, trace) upload pair the
+// source-free scanning service consumes (server KindScan, criticctl scan).
+// The unoptimized binary is deliberately the baseline one: scanning it shows
+// the missed-CritIC surface the compiler pass would have claimed.
+func ScanInputs(name string, n int) (img []byte, addrs []uint32, err error) {
+	app, ok := workload.FindApp(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("critics: unknown app %q", name)
+	}
+	p := workload.Generate(app.Params)
+	img, err = binimg.Assemble(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := trace.NewGenerator(p, app.Params.Seed)
+	dyns := g.Generate(nil, n)
+	addrs = make([]uint32, len(dyns))
+	for i := range dyns {
+		addrs[i] = dyns[i].Addr
+	}
+	return img, addrs, nil
 }
 
 // TraceSample generates a window of dynamic execution for an app — handy for

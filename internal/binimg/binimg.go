@@ -17,8 +17,10 @@
 package binimg
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 
 	"critics/internal/encoding"
 	"critics/internal/isa"
@@ -101,81 +103,22 @@ type Decoded struct {
 }
 
 // Decode walks the image from offset 0, reproducing the decoder's format
-// state machine, and returns the decoded stream (padding skipped).
+// state machine, and returns the decoded stream (padding skipped). It is
+// the buffered convenience form of the streaming Decoder (decoder.go),
+// which large-image paths use directly to stay in bounded memory.
 func Decode(img []byte) ([]Decoded, error) {
+	d := NewDecoder(bytes.NewReader(img))
 	var out []Decoded
-	off := uint32(0)
-	thumbLeft := 0          // CDP-counted run remaining
-	thumbUntilExit := false // Approach-1: thumb until a 16-bit branch
-	for int(off) < len(img) {
-		if thumbLeft > 0 || thumbUntilExit {
-			if int(off)+2 > len(img) {
-				return nil, fmt.Errorf("binimg: truncated halfword at %#x", off)
-			}
-			hw := binary.LittleEndian.Uint16(img[off:])
-			in, err := encoding.DecodeT16(hw)
-			if err != nil {
-				return nil, fmt.Errorf("binimg: at %#x: %w", off, err)
-			}
-			out = append(out, Decoded{Addr: off, Inst: in, Thumb: true})
-			off += 2
-			if thumbLeft > 0 {
-				thumbLeft--
-			} else if in.Op == isa.OpB && in.Cond == isa.CondAL {
-				// The 16-bit exchange branch ends the run.
-				thumbUntilExit = false
-			}
-			continue
+	for {
+		dec, err := d.Next()
+		if err == io.EOF {
+			return out, nil
 		}
-		// 32-bit mode. A CDP command may sit at any halfword boundary
-		// (long converted runs chain CDPs back to back).
-		if int(off)+2 <= len(img) {
-			hw := binary.LittleEndian.Uint16(img[off:])
-			if encoding.IsCDP(hw) {
-				cdp, err := encoding.DecodeCDP(hw)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, Decoded{Addr: off, Inst: isa.Inst{Op: isa.OpCDP, Rd: isa.NoReg, Rn: isa.NoReg, Rm: isa.NoReg}, Thumb: true, IsCDP: true, CDPCount: cdp.Count})
-				off += 2
-				thumbLeft = cdp.Count
-				continue
-			}
-		}
-		// A halfword-aligned position that is not a CDP is alignment
-		// padding after a Thumb run.
-		if off%4 == 2 {
-			if binary.LittleEndian.Uint16(img[off:]) != 0 {
-				return nil, fmt.Errorf("binimg: expected pad halfword at %#x", off)
-			}
-			off += 2
-			continue
-		}
-		if int(off)+4 > len(img) {
-			// Trailing pad shorter than a word.
-			for _, b := range img[off:] {
-				if b != 0 {
-					return nil, fmt.Errorf("binimg: trailing garbage at %#x", off)
-				}
-			}
-			break
-		}
-		w := binary.LittleEndian.Uint32(img[off:])
-		if w == 0 {
-			off += 4 // alignment padding between functions
-			continue
-		}
-		in, err := encoding.DecodeA32(w)
 		if err != nil {
-			return nil, fmt.Errorf("binimg: at %#x: %w", off, err)
+			return nil, err
 		}
-		out = append(out, Decoded{Addr: off, Inst: in})
-		off += 4
-		if in.Op == isa.OpB && in.Cond == isa.CondAL && w&exchangeBit != 0 {
-			thumbUntilExit = true
-		}
+		out = append(out, dec)
 	}
-	return out, nil
 }
 
 // Listing is a human-readable disassembly of one function from its image,

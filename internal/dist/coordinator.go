@@ -17,6 +17,7 @@ import (
 
 	"critics/internal/exp"
 	"critics/internal/obs"
+	"critics/internal/scan"
 	"critics/internal/sched"
 	"critics/internal/telemetry"
 )
@@ -417,14 +418,47 @@ func (c *Coordinator) MeasureRemote(ctx context.Context, req exp.MeasureRequest)
 	}
 
 	task := Task{ID: c.nextTask.Add(1), Req: req}
+	tr, err := c.run(ctx, task, tc)
+	if err != nil {
+		return nil, err
+	}
+	return tr.measurement(), nil
+}
+
+// ScanRemote dispatches one scan batch (a set of trace chunks against
+// digest-referenced artifacts) to the fleet with the same retry/backoff/
+// hedging machinery as measurements, returning the per-chunk results.
+func (c *Coordinator) ScanRemote(ctx context.Context, st ScanTask) ([]scan.ChunkResult, error) {
+	if c.draining.Load() {
+		return nil, errors.New("dist: coordinator draining")
+	}
+	c.inflight.Add(1)
+	defer c.inflight.Done()
+
+	var tc *traceCtx
+	if t, parent, ok := obs.FromContext(ctx); ok && t != nil {
+		tc = &traceCtx{t: t, parent: parent, job: t.ID()}
+	}
+
+	task := Task{ID: c.nextTask.Add(1), Scan: &st}
+	tr, err := c.run(ctx, task, tc)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Scan, nil
+}
+
+// run is the shared dispatch wrapper behind MeasureRemote and ScanRemote:
+// metrics, fallback events and the dispatch-RTT SLO stage around one task.
+func (c *Coordinator) run(ctx context.Context, task Task, tc *traceCtx) (*TaskResult, error) {
 	start := time.Now()
-	m, err := c.dispatch(ctx, task, tc)
+	tr, err := c.dispatch(ctx, task, tc)
 	if err != nil {
 		if c.met != nil {
 			c.met.failed.Inc()
 		}
 		c.event(tc, obs.EvFallback, fmt.Sprintf("task %d: %v", task.ID, err))
-		c.log.Warn("task exhausted all attempts", "task", task.ID, "app", req.App.Name, "kind", req.Kind, "err", err)
+		c.log.Warn("task exhausted all attempts", "task", task.ID, "work", task.label(), "err", err)
 		return nil, err
 	}
 	if c.met != nil {
@@ -433,12 +467,12 @@ func (c *Coordinator) MeasureRemote(ctx context.Context, req exp.MeasureRequest)
 	if c.obsv != nil && tc != nil {
 		c.obsv.Stages.Observe(obs.StageDispatchRTT, time.Since(start).Seconds(), tc.job)
 	}
-	return m, nil
+	return tr, nil
 }
 
 // dispatch runs the retry loop: pick a worker, try it (with hedging), and on
 // a transient failure back off exponentially and try a different one.
-func (c *Coordinator) dispatch(ctx context.Context, task Task, tc *traceCtx) (*exp.Measurement, error) {
+func (c *Coordinator) dispatch(ctx context.Context, task Task, tc *traceCtx) (*TaskResult, error) {
 	exclude := make(map[string]bool)
 	var lastErr error
 	backoff := c.cfg.RetryBackoff
@@ -469,9 +503,9 @@ func (c *Coordinator) dispatch(ctx context.Context, task Task, tc *traceCtx) (*e
 			lastErr = errNoWorkers
 			continue
 		}
-		m, err := c.tryWorker(ctx, w, task, exclude, tc, attempt+1)
+		tr, err := c.tryWorker(ctx, w, task, exclude, tc, attempt+1)
 		if err == nil {
-			return m, nil
+			return tr, nil
 		}
 		var perm errPermanent
 		if errors.As(err, &perm) {
@@ -484,7 +518,7 @@ func (c *Coordinator) dispatch(ctx context.Context, task Task, tc *traceCtx) (*e
 
 // attemptResult is one dispatch leg's outcome inside tryWorker.
 type attemptResult struct {
-	m      *exp.Measurement
+	tr     *TaskResult
 	err    error
 	worker *workerState
 	hedged bool
@@ -501,7 +535,7 @@ type attemptResult struct {
 // (N == 1) or "retry" (N > 1); a hedge leg appends ":h". A successful leg
 // merges the worker's returned spans under its own span id, rebased into
 // the job trace's clock.
-func (c *Coordinator) tryWorker(ctx context.Context, w *workerState, task Task, exclude map[string]bool, tc *traceCtx, attempt int) (*exp.Measurement, error) {
+func (c *Coordinator) tryWorker(ctx context.Context, w *workerState, task Task, exclude map[string]bool, tc *traceCtx, attempt int) (*TaskResult, error) {
 	attemptCtx, cancel := context.WithTimeout(ctx, c.cfg.TaskTimeout)
 	defer cancel()
 
@@ -525,7 +559,7 @@ func (c *Coordinator) tryWorker(ctx context.Context, w *workerState, task Task, 
 		if tc != nil {
 			traceID = tc.job
 		}
-		m, spans, err := c.post(attemptCtx, w, task, traceID, legID)
+		tr, err := c.post(attemptCtx, w, task, traceID, legID)
 		if tc != nil {
 			attrs := []obs.Attr{obs.A("worker", w.url)}
 			if err != nil {
@@ -536,10 +570,10 @@ func (c *Coordinator) tryWorker(ctx context.Context, w *workerState, task Task, 
 				StartUS: t0, DurUS: tc.t.Now() - t0, Attrs: attrs,
 			})
 			if err == nil {
-				tc.t.Merge(legID, w.url, t0, spans)
+				tc.t.Merge(legID, w.url, t0, tr.Spans)
 			}
 		}
-		results <- attemptResult{m: m, err: err, worker: w, hedged: hedged}
+		results <- attemptResult{tr: tr, err: err, worker: w, hedged: hedged}
 	}
 
 	exclude[w.url] = true
@@ -578,7 +612,7 @@ func (c *Coordinator) tryWorker(ctx context.Context, w *workerState, task Task, 
 				if r.hedged && c.met != nil {
 					c.met.hedgeWins.Inc()
 				}
-				return r.m, nil
+				return r.tr, nil
 			}
 			var perm errPermanent
 			if errors.As(r.err, &perm) {
@@ -599,14 +633,14 @@ func (c *Coordinator) tryWorker(ctx context.Context, w *workerState, task Task, 
 // heartbeat, not the dispatch path, decides when it is trusted again. A
 // non-empty legID propagates trace context on the wire (the worker records
 // its spans against it and returns them in the result).
-func (c *Coordinator) post(ctx context.Context, w *workerState, task Task, traceID, legID string) (*exp.Measurement, []obs.Span, error) {
+func (c *Coordinator) post(ctx context.Context, w *workerState, task Task, traceID, legID string) (*TaskResult, error) {
 	body, err := json.Marshal(task)
 	if err != nil {
-		return nil, nil, errPermanent{fmt.Errorf("dist: encoding task: %w", err)}
+		return nil, errPermanent{fmt.Errorf("dist: encoding task: %w", err)}
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+TaskPath, bytes.NewReader(body))
 	if err != nil {
-		return nil, nil, errPermanent{err}
+		return nil, errPermanent{err}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if legID != "" {
@@ -632,7 +666,7 @@ func (c *Coordinator) post(ctx context.Context, w *workerState, task Task, trace
 	if err != nil {
 		w.failures.Add(1)
 		c.markUnhealthy(w.url)
-		return nil, nil, fmt.Errorf("dist: posting task %d to %s: %w", task.ID, w.url, err)
+		return nil, fmt.Errorf("dist: posting task %d to %s: %w", task.ID, w.url, err)
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
@@ -645,23 +679,23 @@ func (c *Coordinator) post(ctx context.Context, w *workerState, task Task, trace
 		err := fmt.Errorf("dist: worker %s answered %s for task %d: %s", w.url, resp.Status, task.ID, eb.Error)
 		w.failures.Add(1)
 		if resp.StatusCode/100 == 4 {
-			return nil, nil, errPermanent{err}
+			return nil, errPermanent{err}
 		}
 		c.markUnhealthy(w.url)
-		return nil, nil, err
+		return nil, err
 	}
 
 	var tr TaskResult
 	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
 		w.failures.Add(1)
 		c.markUnhealthy(w.url)
-		return nil, nil, fmt.Errorf("dist: decoding task %d result from %s: %w", task.ID, w.url, err)
+		return nil, fmt.Errorf("dist: decoding task %d result from %s: %w", task.ID, w.url, err)
 	}
 	w.tasksDone.Add(1)
 	if w.tasksTotal != nil {
 		w.tasksTotal.Inc()
 	}
-	return tr.measurement(), tr.Spans, nil
+	return &tr, nil
 }
 
 // Map implements sched.Mapper by running shard closures on a local pool wide

@@ -45,9 +45,12 @@
 package dist
 
 import (
+	"fmt"
+
 	"critics/internal/cpu"
 	"critics/internal/exp"
 	"critics/internal/obs"
+	"critics/internal/scan"
 	"critics/internal/trace"
 )
 
@@ -61,11 +64,33 @@ const (
 	WorkersPath    = "/dist/v1/workers"
 )
 
-// Task is the coordinator→worker unit of work: one measurement request plus
-// a coordinator-scoped id for log correlation.
+// Task is the coordinator→worker unit of work, plus a coordinator-scoped id
+// for log correlation: either one measurement request (Req; Scan nil) or one
+// scan batch (Scan non-nil, Req zero).
 type Task struct {
-	ID  int64              `json:"id"`
-	Req exp.MeasureRequest `json:"req"`
+	ID   int64              `json:"id"`
+	Req  exp.MeasureRequest `json:"req"`
+	Scan *ScanTask          `json:"scan,omitempty"`
+}
+
+// ScanTask is a batch of source-free scan work: score the named trace chunks
+// of (image, trace) — both referenced by artifact digest, never inlined. A
+// worker missing either artifact fetches it from the coordinator's store by
+// digest and keeps it in its local warm cache, so a recycled worker re-warms
+// on first use and later batches hit disk/memory locally.
+type ScanTask struct {
+	ImageDigest string       `json:"image_digest"`
+	TraceDigest string       `json:"trace_digest"`
+	Chunks      []int        `json:"chunks"`
+	Opt         scan.Options `json:"opt"`
+}
+
+// label names a task for logs.
+func (t Task) label() string {
+	if t.Scan != nil {
+		return fmt.Sprintf("scan %s [%d chunks]", t.Scan.ImageDigest, len(t.Scan.Chunks))
+	}
+	return fmt.Sprintf("%s/%s", t.Req.App.Name, t.Req.Kind)
 }
 
 // TaskResult is the worker's reply: the measurement in wire form. The
@@ -80,6 +105,11 @@ type TaskResult struct {
 	Agg     exp.WindowAgg `json:"agg"`
 	Dyns    []trace.Dyn   `json:"dyns,omitempty"`
 	Fanouts []int32       `json:"fanouts,omitempty"`
+
+	// Scan carries a scan batch's per-chunk results (Task.Scan requests
+	// only). Chunk scoring is integer-only and position-independent, so
+	// these merge into a report byte-identical to local computation.
+	Scan []scan.ChunkResult `json:"scan,omitempty"`
 
 	// Spans are the worker-side trace spans of this task (remote compute
 	// plus its memo builds), present only when the request carried the

@@ -4,17 +4,21 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"critics/internal/artifact"
 	"critics/internal/exp"
 	"critics/internal/obs"
+	"critics/internal/scan"
 	"critics/internal/telemetry"
 )
 
@@ -41,6 +45,16 @@ type WorkerConfig struct {
 	// Logger receives structured task logs; nil discards them.
 	Logger *slog.Logger
 
+	// Artifacts is the worker's local content-addressed warm cache for scan
+	// inputs (binary images, traces): a recycled worker re-opened on the
+	// same directory starts warm. nil creates a temp-dir store.
+	Artifacts *artifact.Store
+
+	// ArtifactSource is the base URL scan artifacts missing from the local
+	// store are fetched from by digest — normally the coordinator's criticd.
+	// Empty means scan tasks must find their artifacts locally.
+	ArtifactSource string
+
 	// FailFirstTasks makes the worker answer its first N tasks with an
 	// injected 500 — a chaos hook for exercising the coordinator's retry
 	// path in smoke tests. 0 (the default) disables it.
@@ -62,6 +76,13 @@ type Worker struct {
 	tasksDone *telemetry.Counter
 	tasksErr  *telemetry.Counter
 	busy      *telemetry.Gauge
+
+	fetchClient *http.Client
+
+	// idxMu guards idxCache, a small memo of built image indexes so many
+	// scan batches against the same image decode it once.
+	idxMu    sync.Mutex
+	idxCache map[string]*scan.Index
 }
 
 // NewWorker builds a worker.
@@ -76,7 +97,17 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 4}))
 	}
-	w := &Worker{cfg: cfg, log: log, slots: make(chan struct{}, cfg.Capacity)}
+	if cfg.Artifacts == nil {
+		if dir, err := os.MkdirTemp("", "critics-worker-artifacts-*"); err == nil {
+			cfg.Artifacts, _ = artifact.Open(artifact.Config{Dir: dir, Registry: cfg.Registry})
+		}
+	}
+	w := &Worker{
+		cfg: cfg, log: log,
+		slots:       make(chan struct{}, cfg.Capacity),
+		fetchClient: &http.Client{Timeout: 2 * time.Minute},
+		idxCache:    map[string]*scan.Index{},
+	}
 	w.failFirst.Store(int64(cfg.FailFirstTasks))
 	if reg := cfg.Registry; reg != nil {
 		w.tasksDone = reg.Counter("critics_dist_worker_tasks_executed_total",
@@ -183,36 +214,44 @@ func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	m, err := w.execute(ctx, task)
+	var result TaskResult
+	if task.Scan != nil {
+		result.Scan, err = w.executeScan(ctx, *task.Scan)
+	} else {
+		var m *exp.Measurement
+		m, err = w.execute(ctx, task)
+		if err == nil {
+			result = resultOf(m, nil)
+		}
+	}
 	if err != nil {
 		if w.tasksErr != nil {
 			w.tasksErr.Inc()
 		}
 		code := http.StatusInternalServerError
-		if r.Context().Err() == nil && err == errBadTask {
+		if r.Context().Err() == nil && errors.Is(err, errBadTask) {
 			// The task itself is unrunnable — retrying it on another worker
 			// would fail identically, so answer with a permanent status.
 			code = http.StatusUnprocessableEntity
 		}
-		w.log.Warn("task failed", "task", task.ID, "app", task.Req.App.Name, "kind", task.Req.Kind, "err", err)
+		w.log.Warn("task failed", "task", task.ID, "what", task.label(), "err", err)
 		writeJSON(rw, code, errorBody{Error: err.Error()})
 		return
 	}
 	if w.tasksDone != nil {
 		w.tasksDone.Inc()
 	}
-	w.log.Info("task done", "task", task.ID, "app", task.Req.App.Name, "kind", task.Req.Kind,
+	w.log.Info("task done", "task", task.ID, "what", task.label(),
 		"seconds", time.Since(start).Seconds())
-	var spans []obs.Span
 	if wt != nil {
 		wt.Add(obs.Span{
 			ID: "c", Name: "remote-compute",
 			StartUS: 0, DurUS: wt.Now(),
-			Attrs: []obs.Attr{obs.A("app", task.Req.App.Name), obs.A("kind", task.Req.Kind)},
+			Attrs: []obs.Attr{obs.A("what", task.label())},
 		})
-		spans, _ = wt.Snapshot()
+		result.Spans, _ = wt.Snapshot()
 	}
-	writeJSON(rw, http.StatusOK, resultOf(m, spans))
+	writeJSON(rw, http.StatusOK, result)
 }
 
 // errBadTask marks a task the pipeline rejected (e.g. an unknown variant
@@ -228,6 +267,106 @@ func (w *Worker) execute(ctx context.Context, task Task) (m *exp.Measurement, er
 		}
 	}()
 	return exp.ExecuteMeasure(ctx, task.Req, w.cfg.Caches, w.cfg.Workers)
+}
+
+// executeScan scores one scan batch. Both inputs arrive by digest: whatever
+// the local artifact store is missing is fetched from the coordinator first
+// (ensureArtifact), so the store doubles as a warm cache across batches and
+// worker restarts. Image decode is memoized per digest — a scan fanned out
+// over N batches builds its index here once.
+func (w *Worker) executeScan(ctx context.Context, st ScanTask) ([]scan.ChunkResult, error) {
+	if w.cfg.Artifacts == nil {
+		return nil, fmt.Errorf("%w: worker has no artifact store", errBadTask)
+	}
+	if err := w.ensureArtifact(ctx, st.ImageDigest); err != nil {
+		return nil, err
+	}
+	if err := w.ensureArtifact(ctx, st.TraceDigest); err != nil {
+		return nil, err
+	}
+	idx, err := w.imageIndex(st.ImageDigest)
+	if err != nil {
+		return nil, err
+	}
+
+	rc, _, err := w.cfg.Artifacts.Open(st.TraceDigest)
+	if err != nil {
+		return nil, fmt.Errorf("opening trace artifact: %w", err)
+	}
+	defer rc.Close()
+	results, err := scan.ScoreSelected(idx, rc, st.Chunks, st.Opt)
+	if err != nil {
+		// A malformed trace fails identically on every worker.
+		return nil, fmt.Errorf("%w: %v", errBadTask, err)
+	}
+	return results, nil
+}
+
+// ensureArtifact makes digest present in the local store, fetching it from
+// ArtifactSource when missing. Fetch failures are transient (the coordinator
+// retries elsewhere or later); a missing source with a missing blob is
+// permanent for this fleet configuration.
+func (w *Worker) ensureArtifact(ctx context.Context, digest string) error {
+	if err := artifact.Validate(digest); err != nil {
+		return fmt.Errorf("%w: %v", errBadTask, err)
+	}
+	if w.cfg.Artifacts.Has(digest) {
+		return nil
+	}
+	if w.cfg.ArtifactSource == "" {
+		return fmt.Errorf("%w: artifact %s not in local store and no artifact source configured", errBadTask, digest)
+	}
+	url := w.cfg.ArtifactSource + "/v1/artifacts/" + digest
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := w.fetchClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("fetching artifact %s: %w", digest, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetching artifact %s: %s answered %s", digest, url, resp.Status)
+	}
+	// PutChunk verifies the digest on finalize, so a corrupted transfer is
+	// rejected rather than cached.
+	if _, _, err := w.cfg.Artifacts.PutChunk(digest, 0, resp.Body, true); err != nil {
+		return fmt.Errorf("caching artifact %s: %w", digest, err)
+	}
+	return nil
+}
+
+// imageIndex returns the memoized scan index for an image digest, building
+// it from the stored blob on first use.
+func (w *Worker) imageIndex(digest string) (*scan.Index, error) {
+	w.idxMu.Lock()
+	defer w.idxMu.Unlock()
+	if idx, ok := w.idxCache[digest]; ok {
+		return idx, nil
+	}
+	rc, _, err := w.cfg.Artifacts.Open(digest)
+	if err != nil {
+		return nil, fmt.Errorf("opening image artifact: %w", err)
+	}
+	defer rc.Close()
+	idx, err := scan.BuildIndex(rc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadTask, err)
+	}
+	// Bound the memo: scans cycle through few images; keep it from growing
+	// without bound on a long-lived worker.
+	if len(w.idxCache) >= 8 {
+		for k := range w.idxCache {
+			delete(w.idxCache, k)
+			break
+		}
+	}
+	w.idxCache[digest] = idx
+	return idx, nil
 }
 
 // Register announces a worker to the coordinator at coordURL, advertising

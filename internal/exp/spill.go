@@ -1,0 +1,27 @@
+package exp
+
+import (
+	"encoding/json"
+
+	"critics/internal/sched"
+)
+
+// EnableMeasurementSpill attaches st (typically an artifact-store adapter)
+// as the second-chance tier of the measurement cache: measurements the
+// retention budget would drop on admission are JSON-encoded into the store
+// instead, and later lookups decode them back rather than re-simulating.
+// The codec round-trips exactly — Measurement is plain exported data, and
+// Go's JSON float encoding is shortest-exact — so spilled values preserve
+// the engine's bit-identical-results contract. Call before the caches see
+// traffic.
+func (s *Caches) EnableMeasurementSpill(st sched.SpillStore) {
+	s.meas.EnableSpill(st,
+		func(m *Measurement) ([]byte, error) { return json.Marshal(m) },
+		func(b []byte) (*Measurement, error) {
+			m := new(Measurement)
+			if err := json.Unmarshal(b, m); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+}

@@ -14,6 +14,12 @@
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	POST   /v1/profiles         ingest one device profile sketch (binary wire
 //	                            form); 202, 429 + Retry-After under saturation
+//	PUT    /v1/artifacts/{digest} chunked, resumable, content-addressed blob
+//	                            upload (see artifacts.go for the header
+//	                            protocol); 413 beyond the chunk/blob limits
+//	GET    /v1/artifacts/{digest} the blob bytes (?stat=1 for metadata)
+//	GET    /v1/artifacts        list stored artifacts
+//	POST   /v1/artifacts/gc     remove unreferenced artifacts
 //	GET    /v1/fleet            per-app fleet consensus + converge status
 //	GET    /v1/apps             the workload catalog, by suite
 //	GET    /v1/experiments      the experiment ids the daemon can run
@@ -41,6 +47,7 @@ const (
 	KindExperiment JobKind = "experiment" // one table/figure runner (critics.Experiment)
 	KindTrace      JobKind = "trace"      // optimize + Chrome trace export (critics.TraceApp)
 	KindFleet      JobKind = "fleet"      // fleet converge against the app's consensus (critics.FleetConverge)
+	KindScan       JobKind = "scan"       // source-free scan of an uploaded binary image + trace (internal/scan)
 )
 
 // SubmitRequest is the POST /v1/jobs body.
@@ -74,6 +81,13 @@ type SubmitRequest struct {
 	// daemon has already seen returns the existing job instead of enqueuing
 	// a duplicate.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+
+	// ImageDigest and TraceDigest reference scan-job inputs already in the
+	// daemon's artifact store ("sha256:<64 hex>") — large blobs never ride
+	// inside a job body; chunk-upload them to PUT /v1/artifacts/{digest}
+	// first.
+	ImageDigest string `json:"image_digest,omitempty"`
+	TraceDigest string `json:"trace_digest,omitempty"`
 }
 
 // JobState is a job's position in its lifecycle.
@@ -133,6 +147,7 @@ func (s JobStatus) Duration() time.Duration {
 //	experiment  Text (the runner's formatted rows)
 //	trace       Text + Report + Trace (Chrome trace-event JSON)
 //	fleet       Text + Report (the fleet.Report converge document)
+//	scan        Text + Report (the scan.Report ranked-opportunity document)
 type Result struct {
 	Kind       JobKind `json:"kind"`
 	App        string  `json:"app,omitempty"`

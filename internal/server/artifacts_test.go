@@ -1,0 +1,356 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"critics"
+	"critics/internal/artifact"
+	"critics/internal/dist"
+	"critics/internal/fleet"
+	"critics/internal/scan"
+	"critics/internal/telemetry"
+	"critics/internal/workload"
+)
+
+// scanFixture assembles a small catalog app's binary image and a chunked
+// trace file — the scan pipeline's two artifacts.
+func scanFixture(t *testing.T, instrs int) (img, trc []byte) {
+	t.Helper()
+	img, addrs, err := critics.ScanInputs("acrobat", instrs)
+	if err != nil {
+		t.Fatalf("ScanInputs: %v", err)
+	}
+	return img, scan.TraceBytes(addrs, 1024)
+}
+
+// TestSubmitBodyTooLarge: an oversized inline job body must answer 413 with
+// the documented limit, steering callers to the artifact store.
+func TestSubmitBodyTooLarge(t *testing.T) {
+	_, c := start(t, stubConfig(echoStub))
+
+	body := bytes.Repeat([]byte("x"), maxBodyBytes+1)
+	resp, err := http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit = %d, want 413", resp.StatusCode)
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("decode 413 body: %v", err)
+	}
+	if want := strconv.Itoa(maxBodyBytes); !bytes.Contains([]byte(er.Error), []byte(want)) {
+		t.Fatalf("413 message %q does not state the %s-byte limit", er.Error, want)
+	}
+	// Sanity: a normal-sized request is unaffected.
+	if _, err := c.Submit(context.Background(), SubmitRequest{App: "acrobat"}); err != nil {
+		t.Fatalf("normal submit after 413: %v", err)
+	}
+}
+
+// TestArtifactUploadLifecycle covers the chunked-upload protocol end to end
+// over HTTP: resumable chunks, duplicate idempotence, stale-offset 409 with
+// the committed offset, digest mismatch 422 leaving no orphan.
+func TestArtifactUploadLifecycle(t *testing.T) {
+	_, c := start(t, stubConfig(echoStub))
+	ctx := context.Background()
+
+	data := bytes.Repeat([]byte("artifact lifecycle "), 4096)
+	digest := artifact.Sum(data)
+
+	// Chunked upload with a deliberately small chunk size: many PUTs.
+	got, err := c.UploadArtifact(ctx, data, 1000)
+	if err != nil {
+		t.Fatalf("UploadArtifact: %v", err)
+	}
+	if got != digest {
+		t.Fatalf("uploaded digest %s, want %s", got, digest)
+	}
+
+	// Duplicate upload: idempotent no-op, same digest.
+	if got, err = c.UploadArtifact(ctx, data, 0); err != nil || got != digest {
+		t.Fatalf("duplicate upload = (%s, %v), want (%s, nil)", got, err, digest)
+	}
+
+	// Round-trip the bytes and the metadata.
+	back, err := c.DownloadArtifact(ctx, digest)
+	if err != nil {
+		t.Fatalf("DownloadArtifact: %v", err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatalf("downloaded %d bytes != uploaded %d", len(back), len(data))
+	}
+	info, err := c.ArtifactStat(ctx, digest)
+	if err != nil {
+		t.Fatalf("ArtifactStat: %v", err)
+	}
+	if info.Digest != digest || info.Size != int64(len(data)) {
+		t.Fatalf("stat = %+v, want digest %s size %d", info, digest, len(data))
+	}
+
+	// Interrupted upload resumes at the committed offset: commit a prefix of
+	// a second blob, then start the client from offset 0 — the 409 must carry
+	// the committed offset and the client must resume, not restart.
+	data2 := bytes.Repeat([]byte("resume me "), 2048)
+	digest2 := artifact.Sum(data2)
+	if _, err := c.putChunk(ctx, digest2, 0, data2[:4096], false); err != nil {
+		t.Fatalf("seed partial upload: %v", err)
+	}
+	st, err := c.putChunk(ctx, digest2, 0, data2[:1], false)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusConflict {
+		t.Fatalf("stale offset = %v, want 409", err)
+	}
+	if st.Committed != 4096 {
+		t.Fatalf("409 committed = %d, want 4096", st.Committed)
+	}
+	if _, err := c.UploadArtifact(ctx, data2, 4096); err != nil {
+		t.Fatalf("resuming upload: %v", err)
+	}
+	if info, err := c.ArtifactStat(ctx, digest2); err != nil || info.Size != int64(len(data2)) {
+		t.Fatalf("resumed blob stat = (%+v, %v)", info, err)
+	}
+
+	// Digest mismatch on finalize: 422, and nothing committed under the
+	// claimed digest — a later honest upload succeeds.
+	bogus := artifact.Sum([]byte("something else entirely"))
+	_, err = c.putChunk(ctx, bogus, 0, []byte("not that content"), true)
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("digest mismatch = %v, want 422", err)
+	}
+	if _, err := c.ArtifactStat(ctx, bogus); err == nil {
+		t.Fatalf("mismatched upload left an orphan under %s", bogus)
+	}
+	if _, err := c.UploadArtifact(ctx, []byte("something else entirely"), 0); err != nil {
+		t.Fatalf("honest upload after mismatch: %v", err)
+	}
+
+	// List and GC through the client (nothing holds refs here, so GC clears).
+	infos, err := c.ArtifactList(ctx)
+	if err != nil || len(infos) == 0 {
+		t.Fatalf("ArtifactList = (%d, %v), want non-empty", len(infos), err)
+	}
+	gc, err := c.ArtifactGC(ctx)
+	if err != nil {
+		t.Fatalf("ArtifactGC: %v", err)
+	}
+	if gc.Removed != len(infos) {
+		t.Fatalf("GC removed %d, want %d", gc.Removed, len(infos))
+	}
+	if infos, _ = c.ArtifactList(ctx); len(infos) != 0 {
+		t.Fatalf("store not empty after GC: %+v", infos)
+	}
+}
+
+// TestArtifactChunkTooLarge: a single chunk beyond MaxUploadChunkBytes must
+// answer 413 and leave the upload resumable from its prior committed offset.
+func TestArtifactChunkTooLarge(t *testing.T) {
+	_, c := start(t, stubConfig(echoStub))
+	ctx := context.Background()
+
+	data := bytes.Repeat([]byte("y"), MaxUploadChunkBytes+1)
+	digest := artifact.Sum(data)
+	_, err := c.putChunk(ctx, digest, 0, data, true)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized chunk = %v, want 413", err)
+	}
+	// Split into legal chunks, the same blob uploads fine.
+	if _, err := c.UploadArtifact(ctx, data, 0); err != nil {
+		t.Fatalf("chunked upload of the same blob: %v", err)
+	}
+}
+
+// TestScanJobLocal: upload image + trace, run a scan job without a fleet,
+// and check the ranked report comes back with scored opportunities.
+func TestScanJobLocal(t *testing.T) {
+	_, c := start(t, Config{QueueSize: 4, Workers: 1})
+	ctx := context.Background()
+
+	img, trc := scanFixture(t, 20000)
+	imgDigest, err := c.UploadArtifact(ctx, img, 0)
+	if err != nil {
+		t.Fatalf("upload image: %v", err)
+	}
+	trcDigest, err := c.UploadArtifact(ctx, trc, 0)
+	if err != nil {
+		t.Fatalf("upload trace: %v", err)
+	}
+
+	st, err := c.Submit(ctx, SubmitRequest{Kind: KindScan, ImageDigest: imgDigest, TraceDigest: trcDigest})
+	if err != nil {
+		t.Fatalf("submit scan: %v", err)
+	}
+	st, err = c.Wait(ctx, st.ID, time.Minute)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if st.State != StateSucceeded {
+		t.Fatalf("scan job ended %s: %s", st.State, st.Error)
+	}
+	raw, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	var res struct {
+		Text   string      `json:"text"`
+		Report scan.Report `json:"report"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if res.Report.ImageDigest != imgDigest || res.Report.TraceDigest != trcDigest {
+		t.Fatalf("report digests = %s/%s, want %s/%s",
+			res.Report.ImageDigest, res.Report.TraceDigest, imgDigest, trcDigest)
+	}
+	if len(res.Report.Opportunities) == 0 {
+		t.Fatal("scan found no opportunities in an unoptimized image")
+	}
+	if res.Text == "" {
+		t.Fatal("empty report text")
+	}
+}
+
+// TestScanJobMissingArtifact: a scan referencing a digest the store does not
+// hold must fail with a message pointing at the upload endpoint.
+func TestScanJobMissingArtifact(t *testing.T) {
+	_, c := start(t, Config{QueueSize: 4, Workers: 1})
+	ctx := context.Background()
+
+	missing := artifact.Sum([]byte("never uploaded"))
+	st, err := c.Submit(ctx, SubmitRequest{Kind: KindScan, ImageDigest: missing, TraceDigest: missing})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st, err = c.Wait(ctx, st.ID, time.Minute)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if st.State != StateFailed {
+		t.Fatalf("job ended %s, want failed", st.State)
+	}
+	if !bytes.Contains([]byte(st.Error), []byte("/v1/artifacts")) {
+		t.Fatalf("error %q does not point at the upload endpoint", st.Error)
+	}
+}
+
+// TestScanJobInvalidDigest: submit-time validation rejects malformed digests
+// before a job is enqueued.
+func TestScanJobInvalidDigest(t *testing.T) {
+	_, c := start(t, stubConfig(echoStub))
+	_, err := c.Submit(context.Background(), SubmitRequest{Kind: KindScan, ImageDigest: "sha256:nope", TraceDigest: "sha256:nope"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusBadRequest {
+		t.Fatalf("invalid digest submit = %v, want 400", err)
+	}
+}
+
+// TestScanDistributedByteIdentical is the determinism acceptance check: the
+// same scan through a two-worker fleet (workers fetching artifacts from the
+// daemon by digest) and through pure local execution must produce
+// byte-identical result documents.
+func TestScanDistributedByteIdentical(t *testing.T) {
+	img, trc := scanFixture(t, 30000)
+
+	runScan := func(t *testing.T, withFleet bool) []byte {
+		t.Helper()
+		reg := telemetry.NewRegistry()
+		cfg := Config{QueueSize: 4, Workers: 1, Registry: reg}
+		var coordReg *telemetry.Registry
+		if withFleet {
+			coordReg = telemetry.NewRegistry()
+			coord := dist.NewCoordinator(dist.Config{Registry: coordReg, RetryBackoff: 5 * time.Millisecond})
+			defer coord.Close()
+			cfg.Coordinator = coord
+			s, c := start(t, cfg)
+			// Workers fetch scan artifacts from the daemon itself.
+			for i := 0; i < 2; i++ {
+				wk := dist.NewWorker(dist.WorkerConfig{ArtifactSource: c.base})
+				wsrv := httptest.NewServer(wk.Handler())
+				defer wsrv.Close()
+				coord.AddWorkerCapacity(wsrv.URL, 2)
+			}
+			_ = s
+			raw := scanOnce(t, c, img, trc)
+			if coordReg.Counter("critics_dist_tasks_dispatched_total", "").Value() == 0 {
+				t.Fatal("no scan batches dispatched; the distributed run fell back to pure local execution")
+			}
+			return raw
+		}
+		_, c := start(t, cfg)
+		return scanOnce(t, c, img, trc)
+	}
+
+	local := runScan(t, false)
+	distributed := runScan(t, true)
+	if !bytes.Equal(local, distributed) {
+		t.Fatalf("distributed scan result differs from local:\nlocal:       %s\ndistributed: %s", local, distributed)
+	}
+}
+
+// scanOnce uploads the fixtures, runs one scan job and returns the raw
+// result document.
+func scanOnce(t *testing.T, c *Client, img, trc []byte) []byte {
+	t.Helper()
+	ctx := context.Background()
+	imgDigest, err := c.UploadArtifact(ctx, img, 0)
+	if err != nil {
+		t.Fatalf("upload image: %v", err)
+	}
+	trcDigest, err := c.UploadArtifact(ctx, trc, 0)
+	if err != nil {
+		t.Fatalf("upload trace: %v", err)
+	}
+	st, err := c.Submit(ctx, SubmitRequest{Kind: KindScan, ImageDigest: imgDigest, TraceDigest: trcDigest})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st, err = c.Wait(ctx, st.ID, 2*time.Minute)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if st.State != StateSucceeded {
+		t.Fatalf("scan ended %s: %s", st.State, st.Error)
+	}
+	raw, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	return raw
+}
+
+// TestProfileArchive: an accepted sketch is archived content-addressed and
+// its digest returned, so identical re-sends dedupe to one blob.
+func TestProfileArchive(t *testing.T) {
+	s, c := start(t, stubConfig(echoStub))
+	ctx := context.Background()
+
+	enc := fleet.BuildDeviceSketch(workload.MobileApps()[0], "d0", 1).Encode()
+	if err := c.PostProfile(ctx, enc); err != nil {
+		t.Fatalf("PostProfile: %v", err)
+	}
+	if err := c.PostProfile(ctx, enc); err != nil {
+		t.Fatalf("PostProfile resend: %v", err)
+	}
+	digest := artifact.Sum(enc)
+	info, ok := s.artifacts.Stat(digest)
+	if !ok {
+		t.Fatalf("accepted sketch not archived under %s", digest)
+	}
+	if info.Size != int64(len(enc)) {
+		t.Fatalf("archived %d bytes, want %d", info.Size, len(enc))
+	}
+	if n := len(s.artifacts.List()); n != 1 {
+		t.Fatalf("store holds %d blobs after duplicate sends, want 1", n)
+	}
+}

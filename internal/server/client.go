@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -12,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"critics/internal/artifact"
 	"critics/internal/dist"
 	"critics/internal/fleet"
 )
@@ -231,6 +233,127 @@ func (c *Client) Events(ctx context.Context, job string) ([]byte, error) {
 		path += "?job=" + job
 	}
 	return c.raw(ctx, path)
+}
+
+// UploadArtifact chunk-uploads data to the daemon's artifact store and
+// returns its digest. The blob is split into chunkSize-byte PUTs (0 selects
+// MaxUploadChunkBytes); a 409 mid-upload — daemon restarted, duplicate
+// uploader, stale offset — resumes from the server's committed offset
+// rather than restarting, and an already-stored blob is an idempotent
+// no-op. 429 answers are retried after the server's Retry-After hint.
+func (c *Client) UploadArtifact(ctx context.Context, data []byte, chunkSize int) (string, error) {
+	if chunkSize <= 0 {
+		chunkSize = MaxUploadChunkBytes
+	}
+	digest := artifact.Sum(data)
+	var offset int64
+	for {
+		end := offset + int64(chunkSize)
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		final := end == int64(len(data))
+		st, err := c.putChunk(ctx, digest, offset, data[offset:end], final)
+		if err != nil {
+			var apiErr *APIError
+			switch {
+			case errors.As(err, &apiErr) && apiErr.Code == http.StatusConflict:
+				// Resume where the server actually is.
+				offset = st.Committed
+				continue
+			case errors.As(err, &apiErr) && apiErr.Code == http.StatusTooManyRequests:
+				delay := apiErr.RetryAfter
+				if delay <= 0 {
+					delay = time.Second
+				}
+				select {
+				case <-ctx.Done():
+					return "", ctx.Err()
+				case <-time.After(delay):
+				}
+				continue
+			}
+			return "", err
+		}
+		if st.Complete {
+			return digest, nil
+		}
+		offset = st.Committed
+	}
+}
+
+// putChunk PUTs one chunk. On 409 the returned status carries the server's
+// committed offset alongside the *APIError.
+func (c *Client) putChunk(ctx context.Context, digest string, offset int64, chunk []byte, final bool) (ArtifactUploadStatus, error) {
+	var st ArtifactUploadStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+"/v1/artifacts/"+digest, bytes.NewReader(chunk))
+	if err != nil {
+		return st, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(HeaderUploadOffset, strconv.FormatInt(offset, 10))
+	if final {
+		req.Header.Set(HeaderUploadFinal, "1")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode == http.StatusConflict {
+		_ = json.Unmarshal(data, &st)
+		if h := resp.Header.Get(HeaderUploadCommitted); h != "" {
+			if v, err := strconv.ParseInt(h, 10, 64); err == nil {
+				st.Committed = v
+			}
+		}
+		return st, &APIError{Code: resp.StatusCode, Message: "stale upload offset", Retryable: true}
+	}
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		var er ErrorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			apiErr.Message = er.Error
+			apiErr.Retryable = er.Retryable
+		}
+		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			apiErr.RetryAfter = time.Duration(sec) * time.Second
+		}
+		return st, apiErr
+	}
+	return st, json.Unmarshal(data, &st)
+}
+
+// DownloadArtifact fetches a stored blob's bytes.
+func (c *Client) DownloadArtifact(ctx context.Context, digest string) ([]byte, error) {
+	return c.raw(ctx, "/v1/artifacts/"+digest)
+}
+
+// ArtifactStat fetches one stored blob's metadata.
+func (c *Client) ArtifactStat(ctx context.Context, digest string) (artifact.Info, error) {
+	var info artifact.Info
+	err := c.do(ctx, http.MethodGet, "/v1/artifacts/"+digest+"?stat=1", nil, &info)
+	return info, err
+}
+
+// ArtifactList fetches the store's contents, sorted by digest.
+func (c *Client) ArtifactList(ctx context.Context) ([]artifact.Info, error) {
+	var resp ArtifactListResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/artifacts", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Artifacts, nil
+}
+
+// ArtifactGC asks the daemon to drop unreferenced blobs.
+func (c *Client) ArtifactGC(ctx context.Context) (ArtifactGCResponse, error) {
+	var resp ArtifactGCResponse
+	err := c.do(ctx, http.MethodPost, "/v1/artifacts/gc", nil, &resp)
+	return resp, err
 }
 
 // DistWorkers fetches the coordinator's fleet status. A daemon running

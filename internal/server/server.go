@@ -8,12 +8,14 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"critics"
+	"critics/internal/artifact"
 	"critics/internal/dist"
 	"critics/internal/exp"
 	"critics/internal/fleet"
@@ -69,6 +71,12 @@ type Config struct {
 	// (Drain/Close around Shutdown).
 	Coordinator *dist.Coordinator
 
+	// Artifacts is the daemon's content-addressed blob store, served under
+	// /v1/artifacts and feeding scan jobs, worker artifact fetches, fleet
+	// sketch archival and measurement-cache spill. nil creates a
+	// temp-directory store that Shutdown removes.
+	Artifacts *artifact.Store
+
 	// execute overrides job execution — a test seam. nil selects the real
 	// critics pipeline.
 	execute func(ctx context.Context, req SubmitRequest) ([]byte, error)
@@ -85,10 +93,19 @@ type Server struct {
 	log     *slog.Logger
 	reg     *telemetry.Registry
 	metrics *metrics
+	scanM   *scanMetrics
 	obsv    *obs.Observer
 	caches  *critics.SharedCaches
 	fleet   *fleet.Service
 	mux     *http.ServeMux
+
+	// artifacts is the content-addressed store behind /v1/artifacts;
+	// artifactDirOwned is non-empty when New created it in a temp directory
+	// it must remove at Shutdown. uploadSlots is the chunk-upload admission
+	// semaphore.
+	artifacts        *artifact.Store
+	artifactDirOwned string
+	uploadSlots      chan struct{}
 
 	// baseCtx parents every job context; cancelBase aborts in-flight jobs
 	// when a Shutdown deadline expires.
@@ -127,18 +144,34 @@ func New(cfg Config) *Server {
 	}
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:        cfg,
-		log:        log,
-		reg:        cfg.Registry,
-		metrics:    newMetrics(cfg.Registry),
-		obsv:       obs.NewObserver(cfg.Registry),
-		caches:     critics.NewSharedCaches(),
-		baseCtx:    base,
-		cancelBase: cancel,
-		queue:      make(chan *job, cfg.QueueSize),
-		jobs:       map[string]*job{},
-		byIdem:     map[string]string{},
+		cfg:         cfg,
+		log:         log,
+		reg:         cfg.Registry,
+		metrics:     newMetrics(cfg.Registry),
+		scanM:       newScanMetrics(cfg.Registry),
+		obsv:        obs.NewObserver(cfg.Registry),
+		caches:      critics.NewSharedCaches(),
+		baseCtx:     base,
+		cancelBase:  cancel,
+		queue:       make(chan *job, cfg.QueueSize),
+		jobs:        map[string]*job{},
+		byIdem:      map[string]string{},
+		uploadSlots: make(chan struct{}, artifactUploadSlots),
 	}
+	s.artifacts = cfg.Artifacts
+	if s.artifacts == nil {
+		dir, err := os.MkdirTemp("", "criticd-artifacts-*")
+		if err == nil {
+			s.artifacts, err = artifact.Open(artifact.Config{Dir: dir, Registry: cfg.Registry})
+		}
+		if err != nil {
+			panic(fmt.Sprintf("server: creating artifact store: %v", err))
+		}
+		s.artifactDirOwned = dir
+	}
+	// Measurements the retention budget would evict spill into the store
+	// instead of being recomputed.
+	s.caches.EnableMeasurementSpill(artifact.NewMemoSpill(s.artifacts))
 	if s.cfg.execute == nil {
 		s.cfg.execute = s.executePipeline
 	}
@@ -186,14 +219,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.fleet.Drain()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.cancelBase()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.artifactDirOwned != "" {
+		// The store was ours (Config.Artifacts nil): its blobs die with the
+		// daemon, like the in-memory job table.
+		_ = os.RemoveAll(s.artifactDirOwned)
+		s.artifactDirOwned = ""
+	}
+	return err
 }
 
 // ---- worker loop ---------------------------------------------------------
@@ -283,6 +323,11 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 // the critics public API with the job's scale options, the server's shared
 // caches and the server's registry attached.
 func (s *Server) executePipeline(ctx context.Context, req SubmitRequest) ([]byte, error) {
+	if req.Kind == KindScan {
+		// Scan jobs run source-free against uploaded artifacts; none of the
+		// catalog-pipeline options below apply.
+		return s.executeScan(ctx, req)
+	}
 	opts := []critics.Option{}
 	if req.Quick || s.cfg.QuickScale {
 		opts = append(opts, critics.WithQuickScale())
@@ -373,6 +418,10 @@ func (s *Server) routes() *http.ServeMux {
 	handle("DELETE", "/v1/jobs/{id}", s.handleCancel)
 	handle("POST", "/v1/profiles", s.handleProfiles)
 	handle("GET", "/v1/fleet", s.handleFleet)
+	handle("PUT", "/v1/artifacts/{digest}", s.handleArtifactPut)
+	handle("GET", "/v1/artifacts/{digest}", s.handleArtifactGet)
+	handle("GET", "/v1/artifacts", s.handleArtifactList)
+	handle("POST", "/v1/artifacts/gc", s.handleArtifactGC)
 	handle("GET", "/v1/apps", s.handleApps)
 	handle("GET", "/v1/experiments", s.handleExperiments)
 	handle("GET", "/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -400,16 +449,24 @@ func (s *Server) routes() *http.ServeMux {
 	return mux
 }
 
-// maxBodyBytes bounds submit bodies; requests are tiny.
+// maxBodyBytes bounds submit bodies; requests are tiny. Oversized bodies
+// (a client inlining a binary image instead of uploading it to
+// /v1/artifacts) answer 413 with the limit in the message.
 const maxBodyBytes = 1 << 20
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err == nil {
 		err = json.Unmarshal(body, &req)
 	}
 	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes; upload large inputs to PUT /v1/artifacts/{digest} and reference them by digest", int64(maxBodyBytes)), false)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "malformed request body: "+err.Error(), false)
 		return
 	}
@@ -482,7 +539,14 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.fleet.AddBytes(len(body))
-	writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted", "app": sk.App})
+	// Archive the accepted sketch's wire form content-addressed: identical
+	// re-sends dedupe to one blob, and an operator can fetch the exact bytes
+	// behind any consensus merge for replay/debugging.
+	digest, err := s.artifacts.PutBytes(body)
+	if err != nil {
+		s.log.Warn("archiving sketch failed", "app", sk.App, "err", err)
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted", "app": sk.App, "digest": digest})
 }
 
 // handleFleet reports per-app fleet state: consensus revision and digest,
@@ -581,6 +645,13 @@ func normalize(req *SubmitRequest) string {
 		}
 	}
 	switch req.Kind {
+	case KindScan:
+		if err := artifact.Validate(req.ImageDigest); err != nil {
+			return fmt.Sprintf("scan jobs require a valid image_digest: %v", err)
+		}
+		if err := artifact.Validate(req.TraceDigest); err != nil {
+			return fmt.Sprintf("scan jobs require a valid trace_digest: %v", err)
+		}
 	case KindOptimize, KindProfile, KindTrace, KindFleet:
 		if req.App == "" {
 			return fmt.Sprintf("%s jobs require an app name (GET /v1/apps lists them)", req.Kind)
@@ -598,7 +669,7 @@ func normalize(req *SubmitRequest) string {
 			return fmt.Sprintf("unknown experiment %q (valid: %s)", req.Experiment, strings.Join(critics.ExperimentIDs(), ", "))
 		}
 	default:
-		return fmt.Sprintf("unknown job kind %q (one of optimize, profile, experiment, trace, fleet)", req.Kind)
+		return fmt.Sprintf("unknown job kind %q (one of optimize, profile, experiment, trace, fleet, scan)", req.Kind)
 	}
 	if req.TimeoutMS < 0 || req.Workers < 0 || req.MeasureInstrs < 0 {
 		return "timeout_ms, workers and measure_instrs must be non-negative"

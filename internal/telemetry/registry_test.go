@@ -145,6 +145,24 @@ func buildFixedRegistry() *Registry {
 		"Optimizer generations completed, per app.", L("app", "acrobat")).Add(2)
 	reg.Gauge("critics_fleet_converged",
 		"1 when the last optimizer run converged on a winner, else 0.", L("app", "acrobat")).Set(1)
+	// The artifact-store families (internal/artifact pins the same names).
+	reg.Gauge("critics_artifact_blobs", "Committed blobs in the artifact store.").Set(5)
+	reg.Gauge("critics_artifact_bytes", "Committed artifact bytes by tier.", L("tier", "mem")).Set(4096)
+	reg.Gauge("critics_artifact_bytes", "Committed artifact bytes by tier.", L("tier", "disk")).Set(1 << 20)
+	for outcome, n := range map[string]int64{"committed": 7, "duplicate": 2, "mismatch": 1} {
+		reg.Counter("critics_artifact_uploads_total",
+			"Upload finalizations by outcome: committed, duplicate (idempotent re-upload), mismatch (digest check failed).",
+			L("outcome", outcome)).Add(n)
+	}
+	reg.Counter("critics_artifact_gc_removed_total", "Unreferenced blobs removed by GC.").Add(3)
+	reg.Counter("critics_artifact_verify_failures_total",
+		"Reads whose content failed digest verification.").Add(1)
+	// The scan-pipeline families (internal/server pins the same names).
+	reg.Counter("critics_scan_chunks_scored_total",
+		"Trace chunks scored by scan jobs, by execution path (local, remote).", L("path", "local")).Add(20)
+	reg.Counter("critics_scan_chunks_scored_total",
+		"Trace chunks scored by scan jobs, by execution path (local, remote).", L("path", "remote")).Add(40)
+	reg.Counter("critics_scan_reports_total", "Scan reports produced.").Add(2)
 	fe := []Label{L("policy", "trrip"), L("layout", "c3")}
 	reg.Counter("critics_frontend_measurements_total",
 		"Front-end sweep measurements taken, by policy and layout.", fe...).Add(10)
